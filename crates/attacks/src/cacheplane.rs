@@ -1,0 +1,190 @@
+//! Cache-plane undervolting — the plane-select attack surface.
+//!
+//! Table 1 of the paper documents that MSR 0x150 can target five voltage
+//! planes; published attacks largely used plane 0 (core), but the cache
+//! plane (2) powers the L1/L2 arrays that time every load. This campaign
+//! undervolts plane 2 only — the core plane stays at nominal — and
+//! corrupts a load-heavy victim (a pointer-chasing checksum stand-in).
+//!
+//! It exists to probe a blind spot: a countermeasure that polls only the
+//! mailbox's default (core) response register never sees the cache-plane
+//! offset. The paper's Algorithm 3 as written has exactly that shape;
+//! the reproduction's polling module closes it when configured with
+//! `planes: [Core, Cache]` (see the plane ablation in EXPERIMENTS.md).
+
+use crate::campaign::{is_crash, Adversary, AttackReport};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::exec::InstrClass;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePlaneConfig {
+    /// Frequency the victim core is pinned to.
+    pub target_freq: FreqMhz,
+    /// First cache-plane offset tried (mV, negative).
+    pub start_offset_mv: i32,
+    /// Deepest offset tried.
+    pub floor_offset_mv: i32,
+    /// Offset step.
+    pub step_mv: i32,
+    /// Load operations per offset step.
+    pub loads_per_step: u64,
+    /// Victim core.
+    pub victim_core: CoreId,
+}
+
+impl Default for CachePlaneConfig {
+    fn default() -> Self {
+        CachePlaneConfig {
+            target_freq: FreqMhz(4_400),
+            start_offset_mv: -150,
+            floor_offset_mv: -320,
+            step_mv: 5,
+            loads_per_step: 2_000_000,
+            victim_core: CoreId(0),
+        }
+    }
+}
+
+/// Runs the cache-plane campaign: walk plane-2 offsets deeper until the
+/// load-heavy victim returns corrupted data.
+///
+/// # Errors
+///
+/// Propagates non-crash machine errors.
+pub fn run_cache_plane_attack(
+    machine: &mut Machine,
+    cfg: &CachePlaneConfig,
+) -> Result<AttackReport, MachineError> {
+    let mut report = AttackReport::new("cache-plane-undervolt");
+    let mut adv = Adversary::new(machine, cfg.victim_core)?;
+    adv.pin_frequency(machine, cfg.target_freq)?;
+    machine.advance(SimDuration::from_millis(1));
+
+    let dev = plugvolt_kernel::msr_dev::MsrDev::open(machine, cfg.victim_core)?;
+    let mut offset = cfg.start_offset_mv;
+    // The floor may exceed the mailbox field on purpose; clamp.
+    let floor = cfg.floor_offset_mv.max(OcRequest::MIN_OFFSET_MV);
+    while offset >= floor {
+        report.attempts += 1;
+        let req = OcRequest::write_offset(offset, Plane::Cache).encode();
+        let _ = dev.write(machine, Msr::OC_MAILBOX, req)?;
+        // Cover the tracks: point the mailbox response register back at
+        // the (clean) core plane so a defender reading it the way the
+        // paper's Algorithm 3 does sees nothing amiss.
+        let hide = OcRequest::read(Plane::Core).encode();
+        let _ = dev.write(machine, Msr::OC_MAILBOX, hide)?;
+        machine.advance(SimDuration::from_millis(2));
+        let now = machine.now();
+        match machine.cpu_mut().run_batch(
+            now,
+            cfg.victim_core,
+            InstrClass::Load,
+            cfg.loads_per_step,
+        ) {
+            Ok(corrupted) => {
+                machine.advance(SimDuration::from_millis(1));
+                if corrupted > 0 {
+                    report.faulty_events += corrupted;
+                    if !report.success {
+                        report.success = true;
+                        report.extracted = Some(format!(
+                            "load data corrupted from cache-plane offset {offset} mV at {}",
+                            cfg.target_freq
+                        ));
+                    }
+                    break;
+                }
+            }
+            Err(e) if is_crash(&MachineError::Package(e)) => {
+                adv.recover_from_crash(machine, cfg.target_freq, &mut report)?;
+                break;
+            }
+            Err(e) => return Err(MachineError::Package(e)),
+        }
+        offset -= cfg.step_mv;
+    }
+    // Restore the cache plane.
+    let restore = OcRequest::write_offset(0, Plane::Cache).encode();
+    let _ = dev.write(machine, Msr::OC_MAILBOX, restore)?;
+    machine.advance(SimDuration::from_millis(2));
+    report.wall = adv.elapsed(machine);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt::characterize::analytic_map;
+    use plugvolt::deploy::{deploy, Deployment};
+    use plugvolt::poll::PollConfig;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn cache_plane_attack_breaks_undefended_machine() {
+        let mut m = Machine::new(CpuModel::CometLake, 61);
+        let report = run_cache_plane_attack(&mut m, &CachePlaneConfig::default()).unwrap();
+        assert!(report.success, "report: {report:?}");
+        assert!(report.faulty_events > 0);
+        // The core plane stayed at nominal throughout.
+        assert_eq!(m.cpu().plane_offset_mv(Plane::Core), 0);
+    }
+
+    #[test]
+    fn core_only_polling_misses_the_hidden_cache_plane() {
+        // The honest gap: the attacker re-points the mailbox response
+        // register at the clean core plane after each cache-plane write,
+        // so Algorithm 3's single read never observes the offset.
+        let mut m = Machine::new(CpuModel::CometLake, 61);
+        let map = analytic_map(&CpuModel::CometLake.spec());
+        let cfg = PollConfig::default(); // planes: [Core]
+        let deployed = deploy(&mut m, &map, Deployment::PollingModule(cfg)).unwrap();
+        let report = run_cache_plane_attack(&mut m, &CachePlaneConfig::default()).unwrap();
+        assert!(
+            report.success,
+            "expected the hidden cache-plane attack to slip past core-only polling: {report:?}"
+        );
+        assert_eq!(deployed.poll_stats.unwrap().borrow().detections, 0);
+    }
+
+    #[test]
+    fn plane_aware_polling_blocks_the_cache_plane() {
+        let mut m = Machine::new(CpuModel::CometLake, 61);
+        let map = analytic_map(&CpuModel::CometLake.spec());
+        let cfg = PollConfig {
+            planes: vec![Plane::Core, Plane::Cache],
+            ..PollConfig::default()
+        };
+        let deployed = deploy(&mut m, &map, Deployment::PollingModule(cfg)).unwrap();
+        let report = run_cache_plane_attack(&mut m, &CachePlaneConfig::default()).unwrap();
+        assert!(!report.success, "report: {report:?}");
+        assert_eq!(report.faulty_events, 0);
+        let stats = deployed.poll_stats.unwrap();
+        assert!(stats.borrow().detections > 0, "cache plane never detected");
+    }
+
+    #[test]
+    fn microcode_and_clamp_cover_all_planes() {
+        // The Sec. 5 deployments filter the *write*, so the plane choice
+        // cannot bypass them.
+        let map = analytic_map(&CpuModel::CometLake.spec());
+        for deployment in [
+            Deployment::Microcode {
+                revision: 0xf5,
+                margin_mv: 5,
+            },
+            Deployment::HardwareMsr { margin_mv: 5 },
+        ] {
+            let mut m = Machine::new(CpuModel::CometLake, 61);
+            deploy(&mut m, &map, deployment.clone()).unwrap();
+            let report = run_cache_plane_attack(&mut m, &CachePlaneConfig::default()).unwrap();
+            assert!(!report.success, "{}: {report:?}", deployment.label());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared attack-campaign plumbing: reports and the undervolt search.
+//!
+//! Every published DVFS attack follows the same skeleton the paper
+//! root-causes in observation O3: pick a frequency, walk the voltage
+//! offset deeper until the victim computation faults, exploit the faulty
+//! output. The helpers here drive that skeleton against a [`Machine`]
+//! so each named attack only supplies its victim and exploit logic.
+
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_cpu::package::PackageError;
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_kernel::cpupower::CpuPower;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_kernel::msr_dev::MsrDev;
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one attack campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Which attack ran.
+    pub attack: String,
+    /// Undervolt (or frequency) steps attempted.
+    pub attempts: u64,
+    /// Victim computations that produced observably wrong results.
+    pub faulty_events: u64,
+    /// Whether the exploit goal (key/factor recovery, integrity break)
+    /// was reached.
+    pub success: bool,
+    /// Human-readable description of what was extracted, if anything.
+    pub extracted: Option<String>,
+    /// Machine crashes (and resets) caused along the way.
+    pub crashes: u32,
+    /// Simulated time the campaign consumed.
+    pub wall: SimDuration,
+}
+
+impl AttackReport {
+    /// A fresh, empty report for `attack`.
+    #[must_use]
+    pub fn new(attack: impl Into<String>) -> Self {
+        AttackReport {
+            attack: attack.into(),
+            attempts: 0,
+            faulty_events: 0,
+            success: false,
+            extracted: None,
+            crashes: 0,
+            wall: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The adversary's handle on the machine: root access to `cpupower` and
+/// the msr device, as in all the published attacks' threat models.
+#[derive(Debug)]
+pub struct Adversary {
+    cpupower: CpuPower,
+    dev: MsrDev,
+    victim_core: CoreId,
+    started: SimTime,
+}
+
+impl Adversary {
+    /// Takes (privileged) control of the machine, targeting `victim_core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn new(machine: &mut Machine, victim_core: CoreId) -> Result<Self, MachineError> {
+        Ok(Adversary {
+            cpupower: CpuPower::new(machine),
+            dev: MsrDev::open(machine, victim_core)?,
+            victim_core,
+            started: machine.now(),
+        })
+    }
+
+    /// The victim core.
+    #[must_use]
+    pub fn victim_core(&self) -> CoreId {
+        self.victim_core
+    }
+
+    /// Time elapsed since the adversary started.
+    #[must_use]
+    pub fn elapsed(&self, machine: &Machine) -> SimDuration {
+        machine.now().saturating_duration_since(self.started)
+    }
+
+    /// Pins the victim core's frequency (`cpupower frequency-set`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn pin_frequency(
+        &mut self,
+        machine: &mut Machine,
+        freq: FreqMhz,
+    ) -> Result<FreqMhz, MachineError> {
+        self.cpupower.frequency_set(machine, self.victim_core, freq)
+    }
+
+    /// Writes a core-plane voltage offset through MSR 0x150 and waits the
+    /// empirically known voltage-application delay (what Plundervolt's
+    /// exploit loop does between the write and the fault window).
+    ///
+    /// Returns `false` if the write was neutralized synchronously
+    /// (OCM disabled / microcode write-ignore).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn undervolt_and_wait(
+        &mut self,
+        machine: &mut Machine,
+        offset_mv: i32,
+    ) -> Result<bool, MachineError> {
+        let req = OcRequest::write_offset(offset_mv, Plane::Core).encode();
+        let outcome = self.dev.write(machine, Msr::OC_MAILBOX, req)?;
+        // Wait out mailbox latency + rail slew, countermeasures running.
+        machine.advance(SimDuration::from_millis(2));
+        Ok(outcome.was_written())
+    }
+
+    /// Clears the offset and waits for the rail to recover.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn restore(&mut self, machine: &mut Machine) -> Result<(), MachineError> {
+        let req = OcRequest::write_offset(0, Plane::Core).encode();
+        let _ = self.dev.write(machine, Msr::OC_MAILBOX, req)?;
+        machine.advance(SimDuration::from_millis(2));
+        Ok(())
+    }
+
+    /// Recovers a crashed machine the way the attack scripts do: reset,
+    /// re-pin the frequency, count the crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn recover_from_crash(
+        &mut self,
+        machine: &mut Machine,
+        freq: FreqMhz,
+        report: &mut AttackReport,
+    ) -> Result<(), MachineError> {
+        report.crashes += 1;
+        let now = machine.now();
+        machine.cpu_mut().reset(now);
+        machine.advance(SimDuration::from_millis(5));
+        self.pin_frequency(machine, freq)?;
+        machine.advance(SimDuration::from_millis(1));
+        Ok(())
+    }
+}
+
+/// Whether an error is the machine crashing (expected during campaigns).
+#[must_use]
+pub fn is_crash(e: &MachineError) -> bool {
+    matches!(e, MachineError::Package(PackageError::Crashed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn adversary_controls_frequency_and_voltage() {
+        let mut m = Machine::new(CpuModel::CometLake, 12);
+        let mut adv = Adversary::new(&mut m, CoreId(0)).unwrap();
+        let f = adv.pin_frequency(&mut m, FreqMhz(4_900)).unwrap();
+        assert_eq!(f, FreqMhz(4_900));
+        let landed = adv.undervolt_and_wait(&mut m, -100).unwrap();
+        assert!(landed);
+        assert!((-100..=-99).contains(&m.cpu().core_offset_mv()));
+        // After the wait the rail has moved.
+        let v = m.cpu().core_voltage_mv(m.now());
+        let nominal = m.cpu().spec().nominal_voltage_mv(FreqMhz(4_900));
+        assert!(v < nominal - 90.0, "v={v}");
+        adv.restore(&mut m).unwrap();
+        assert_eq!(m.cpu().core_offset_mv(), 0);
+        assert!(adv.elapsed(&m) > SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn crash_recovery_restores_operation() {
+        let mut m = Machine::new(CpuModel::CometLake, 12);
+        let mut adv = Adversary::new(&mut m, CoreId(0)).unwrap();
+        adv.pin_frequency(&mut m, FreqMhz(4_900)).unwrap();
+        let mut report = AttackReport::new("test");
+        // Undervolt into oblivion.
+        adv.undervolt_and_wait(&mut m, -600).unwrap_or(false);
+        let now = m.now();
+        let r = m.cpu_mut().run_imul_loop(now, CoreId(0), 1_000);
+        assert!(r.is_err(), "should have crashed");
+        adv.recover_from_crash(&mut m, FreqMhz(4_900), &mut report)
+            .unwrap();
+        assert_eq!(report.crashes, 1);
+        assert!(!m.cpu().is_crashed());
+        let now = m.now();
+        assert_eq!(m.cpu_mut().run_imul_loop(now, CoreId(0), 1_000), Ok(0));
+    }
+
+    #[test]
+    fn report_defaults() {
+        let r = AttackReport::new("x");
+        assert_eq!(r.attack, "x");
+        assert!(!r.success);
+        assert_eq!(r.attempts, 0);
+    }
+}

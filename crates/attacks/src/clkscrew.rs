@@ -1,0 +1,137 @@
+//! CLKSCREW-style frequency-side attack \[24\].
+//!
+//! CLKSCREW showed that the *frequency* half of the DVFS pair is just as
+//! weaponizable as the voltage half. Translated to the Intel setting of
+//! this paper: a victim holding a **benign, safe undervolt** (say
+//! −90 mV at its current frequency) can be pushed into the unsafe region
+//! *without a single 0x150 write* — the adversary merely raises the
+//! core frequency until the existing offset becomes unsafe (shrinking
+//! `T_clk` on the right-hand side of Eq. 1 instead of stretching the
+//! left-hand side).
+//!
+//! This is the scenario that separates the paper's countermeasure from
+//! naive offset-clamping-only defenses: the polling module checks the
+//! *(frequency, offset) pair*, so it catches the frequency-side attack
+//! too, restoring safety by clearing the offset.
+
+use crate::campaign::{is_crash, Adversary, AttackReport};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClkscrewConfig {
+    /// The benign undervolt the victim runs with (safe at
+    /// `victim_freq`).
+    pub benign_offset_mv: i32,
+    /// The victim's normal operating frequency.
+    pub victim_freq: FreqMhz,
+    /// Victim `imul` iterations per frequency step.
+    pub victims_per_step: u64,
+    /// Victim core.
+    pub victim_core: CoreId,
+}
+
+impl Default for ClkscrewConfig {
+    fn default() -> Self {
+        ClkscrewConfig {
+            benign_offset_mv: -90,
+            victim_freq: FreqMhz(1_800),
+            victims_per_step: 1_000_000,
+            victim_core: CoreId(0),
+        }
+    }
+}
+
+/// Runs the frequency-escalation campaign: establish the benign offset,
+/// then walk the frequency up through the table looking for faults.
+///
+/// # Errors
+///
+/// Propagates non-crash machine errors.
+pub fn run_clkscrew_attack(
+    machine: &mut Machine,
+    cfg: &ClkscrewConfig,
+) -> Result<AttackReport, MachineError> {
+    let mut report = AttackReport::new("clkscrew-frequency-side");
+    let mut adv = Adversary::new(machine, cfg.victim_core)?;
+
+    // The *victim* (or its power-management daemon) sets a benign,
+    // safe-at-current-frequency undervolt.
+    adv.pin_frequency(machine, cfg.victim_freq)?;
+    adv.undervolt_and_wait(machine, cfg.benign_offset_mv)?;
+
+    // The adversary never touches 0x150: frequency escalation only.
+    let table = machine.cpu().spec().freq_table.clone();
+    let mut freq = cfg.victim_freq;
+    while freq < table.max() {
+        freq = FreqMhz(freq.mhz() + table.step_mhz() * 4);
+        freq = table.quantize(freq);
+        report.attempts += 1;
+        adv.pin_frequency(machine, freq)?;
+        machine.advance(SimDuration::from_millis(1));
+        let now = machine.now();
+        match machine
+            .cpu_mut()
+            .run_imul_loop(now, cfg.victim_core, cfg.victims_per_step)
+        {
+            Ok(faults) => {
+                machine.advance(SimDuration::from_micros(600));
+                if faults > 0 {
+                    report.faulty_events += faults;
+                    report.success = true;
+                    report.extracted = Some(format!(
+                        "victim faulted at {freq} with benign offset {} mV",
+                        cfg.benign_offset_mv
+                    ));
+                    break;
+                }
+            }
+            Err(e) if is_crash(&MachineError::Package(e)) => {
+                adv.recover_from_crash(machine, cfg.victim_freq, &mut report)?;
+                break;
+            }
+            Err(e) => return Err(MachineError::Package(e)),
+        }
+    }
+    adv.restore(machine)?;
+    report.wall = adv.elapsed(machine);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn frequency_escalation_faults_undefended_machine() {
+        let mut m = Machine::new(CpuModel::CometLake, 77);
+        // −170 mV is comfortably safe at 1.8 GHz on Comet Lake but unsafe
+        // near the top of the table.
+        let cfg = ClkscrewConfig {
+            benign_offset_mv: -170,
+            ..ClkscrewConfig::default()
+        };
+        let report = run_clkscrew_attack(&mut m, &cfg).unwrap();
+        assert!(report.success, "report: {report:?}");
+        assert!(report.faulty_events > 0);
+    }
+
+    #[test]
+    fn safe_offset_survives_full_escalation() {
+        let mut m = Machine::new(CpuModel::CometLake, 77);
+        // −40 mV is safe across the whole table: no faults at any step.
+        let cfg = ClkscrewConfig {
+            benign_offset_mv: -40,
+            ..ClkscrewConfig::default()
+        };
+        let report = run_clkscrew_attack(&mut m, &cfg).unwrap();
+        assert!(!report.success);
+        assert_eq!(report.faulty_events, 0);
+        assert!(report.attempts > 5, "swept the table");
+    }
+}

@@ -1,0 +1,380 @@
+//! AES-128 victim and a Giraud-style differential fault analysis.
+//!
+//! Plundervolt's second exploit class targets AES. We implement AES-128
+//! from scratch, a fault-injection hook that flips one state **bit**
+//! right before the final round's `SubBytes` (the classic Giraud fault
+//! position — exactly what a marginal timing violation in the round
+//! datapath produces), and the DFA that recovers the last round key from
+//! correct/faulty ciphertext pairs, then inverts the key schedule back
+//! to the master key.
+
+use plugvolt_des::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // Column-major state: byte (row r, col c) at index 4c + r.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in state.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+/// Expands a 128-bit key into the 11 round keys.
+#[must_use]
+pub fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    let mut rks = [[0u8; 16]; 11];
+    rks[0] = *key;
+    for round in 1..11 {
+        let prev = rks[round - 1];
+        let mut word = [prev[12], prev[13], prev[14], prev[15]];
+        word.rotate_left(1);
+        for b in &mut word {
+            *b = SBOX[*b as usize];
+        }
+        word[0] ^= RCON[round - 1];
+        let rk = &mut rks[round];
+        for i in 0..4 {
+            rk[i] = prev[i] ^ word[i];
+        }
+        for i in 4..16 {
+            rk[i] = prev[i] ^ rk[i - 4];
+        }
+    }
+    rks
+}
+
+/// Inverts the key schedule: recovers the master key from the **last**
+/// round key — the final step of the DFA.
+#[must_use]
+pub fn invert_key_schedule(last_round_key: &[u8; 16]) -> [u8; 16] {
+    const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    let mut rk = *last_round_key;
+    for round in (1..11).rev() {
+        let mut prev = [0u8; 16];
+        // Words 1..3 of the previous key: w_prev[i] = w[i] ^ w[i−1].
+        for i in (4..16).rev() {
+            prev[i] = rk[i] ^ rk[i - 4];
+        }
+        // Word 0: w_prev[0] = w[0] ^ SubRot(w_prev[3]) ^ rcon.
+        let mut word = [prev[12], prev[13], prev[14], prev[15]];
+        word.rotate_left(1);
+        for b in &mut word {
+            *b = SBOX[*b as usize];
+        }
+        word[0] ^= RCON[round - 1];
+        for i in 0..4 {
+            prev[i] = rk[i] ^ word[i];
+        }
+        rk = prev;
+    }
+    rk
+}
+
+/// A fault to inject during encryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundFault {
+    /// State byte index (0–15) to corrupt.
+    pub byte: u8,
+    /// XOR mask applied to that byte (single bit for the Giraud model).
+    pub mask: u8,
+}
+
+/// AES-128 with an optional fault injected on the state entering the
+/// final round's `SubBytes`.
+#[must_use]
+pub fn encrypt_with_fault(
+    key: &[u8; 16],
+    plaintext: &[u8; 16],
+    fault: Option<RoundFault>,
+) -> [u8; 16] {
+    let rks = expand_key(key);
+    let mut state = *plaintext;
+    add_round_key(&mut state, &rks[0]);
+    for rk in rks.iter().take(10).skip(1) {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, rk);
+    }
+    if let Some(f) = fault {
+        state[usize::from(f.byte) & 15] ^= f.mask;
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rks[10]);
+    state
+}
+
+/// Plain AES-128 encryption.
+#[must_use]
+pub fn encrypt(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    encrypt_with_fault(key, plaintext, None)
+}
+
+/// Where a state byte lands in the ciphertext after the final
+/// `ShiftRows` (column-major indexing).
+#[must_use]
+pub fn shift_rows_dest(byte: u8) -> u8 {
+    let (r, c) = (byte % 4, byte / 4);
+    let new_c = (u32::from(c) + 4 - u32::from(r)) % 4;
+    (new_c as u8) * 4 + r
+}
+
+/// Giraud DFA: narrows the last-round-key byte hypotheses for one
+/// ciphertext position from a correct/faulty pair.
+///
+/// For a single-bit fault `e` on the state byte feeding the final
+/// `SubBytes`, a key guess `k` is consistent iff
+/// `S⁻¹(c ⊕ k) ⊕ S⁻¹(c' ⊕ k)` has Hamming weight 1.
+#[must_use]
+pub fn giraud_candidates(correct_byte: u8, faulty_byte: u8) -> Vec<u8> {
+    let inv = inv_sbox();
+    (0u16..256)
+        .filter_map(|k| {
+            let k = k as u8;
+            let x = inv[(correct_byte ^ k) as usize];
+            let y = inv[(faulty_byte ^ k) as usize];
+            ((x ^ y).count_ones() == 1).then_some(k)
+        })
+        .collect()
+}
+
+/// Full DFA driver state: accumulates pairs until each of the 16 last
+/// round key bytes is uniquely determined.
+#[derive(Debug, Clone)]
+pub struct GiraudAttack {
+    /// Remaining candidates per ciphertext byte position.
+    candidates: [Vec<u8>; 16],
+}
+
+impl Default for GiraudAttack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GiraudAttack {
+    /// Starts with all 256 candidates per byte.
+    #[must_use]
+    pub fn new() -> Self {
+        GiraudAttack {
+            candidates: std::array::from_fn(|_| (0u16..256).map(|k| k as u8).collect()),
+        }
+    }
+
+    /// Feeds one correct/faulty ciphertext pair. Positions where the
+    /// ciphertexts agree carry no information and are skipped.
+    pub fn observe(&mut self, correct: &[u8; 16], faulty: &[u8; 16]) {
+        for pos in 0..16 {
+            if correct[pos] == faulty[pos] {
+                continue;
+            }
+            let narrowed = giraud_candidates(correct[pos], faulty[pos]);
+            self.candidates[pos].retain(|k| narrowed.contains(k));
+        }
+    }
+
+    /// The unique last round key, once every byte is pinned down.
+    #[must_use]
+    pub fn last_round_key(&self) -> Option<[u8; 16]> {
+        let mut rk = [0u8; 16];
+        for (pos, c) in self.candidates.iter().enumerate() {
+            if c.len() != 1 {
+                return None;
+            }
+            rk[pos] = c[0];
+        }
+        Some(rk)
+    }
+
+    /// The recovered master key, if complete.
+    #[must_use]
+    pub fn master_key(&self) -> Option<[u8; 16]> {
+        self.last_round_key().map(|rk| invert_key_schedule(&rk))
+    }
+
+    /// Remaining hypothesis-space size (product of per-byte candidate
+    /// counts, saturating), for progress reporting.
+    #[must_use]
+    pub fn hypothesis_space(&self) -> u128 {
+        self.candidates
+            .iter()
+            .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128))
+    }
+}
+
+/// Samples a Giraud-position fault (uniform byte, uniform single bit).
+#[must_use]
+pub fn sample_round_fault(rng: &mut SimRng) -> RoundFault {
+    RoundFault {
+        byte: rng.below(16) as u8,
+        mask: 1u8 << rng.below(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS-197 Appendix B vector.
+    const KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    const PT: [u8; 16] = [
+        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
+        0x34,
+    ];
+    const CT: [u8; 16] = [
+        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b,
+        0x32,
+    ];
+
+    #[test]
+    fn fips197_vector() {
+        assert_eq!(encrypt(&KEY, &PT), CT);
+    }
+
+    #[test]
+    fn key_expansion_matches_fips197() {
+        let rks = expand_key(&KEY);
+        // FIPS-197 A.1: w4..w7 of the expanded key.
+        assert_eq!(&rks[1][0..4], &[0xa0, 0xfa, 0xfe, 0x17]);
+        // Last round key w40..w43 starts with d0 14 f9 a8.
+        assert_eq!(&rks[10][0..4], &[0xd0, 0x14, 0xf9, 0xa8]);
+    }
+
+    #[test]
+    fn key_schedule_inversion_round_trips() {
+        let rks = expand_key(&KEY);
+        assert_eq!(invert_key_schedule(&rks[10]), KEY);
+    }
+
+    #[test]
+    fn fault_changes_exactly_one_ciphertext_byte() {
+        let fault = RoundFault {
+            byte: 5,
+            mask: 0x10,
+        };
+        let faulty = encrypt_with_fault(&KEY, &PT, Some(fault));
+        let diff: Vec<usize> = (0..16).filter(|&i| faulty[i] != CT[i]).collect();
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff[0], usize::from(shift_rows_dest(5)));
+    }
+
+    #[test]
+    fn shift_rows_dest_is_a_permutation() {
+        let mut seen = [false; 16];
+        for b in 0..16 {
+            seen[usize::from(shift_rows_dest(b))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Row 0 bytes do not move.
+        assert_eq!(shift_rows_dest(0), 0);
+        assert_eq!(shift_rows_dest(4), 4);
+    }
+
+    #[test]
+    fn giraud_candidates_contain_true_key() {
+        let rks = expand_key(&KEY);
+        let fault = RoundFault {
+            byte: 3,
+            mask: 0x02,
+        };
+        let faulty = encrypt_with_fault(&KEY, &PT, Some(fault));
+        let pos = usize::from(shift_rows_dest(3));
+        let cands = giraud_candidates(CT[pos], faulty[pos]);
+        assert!(cands.contains(&rks[10][pos]));
+        assert!(cands.len() < 256);
+    }
+
+    #[test]
+    fn full_dfa_recovers_master_key() {
+        let mut rng = SimRng::from_seed_label(9, "aes-dfa");
+        let mut attack = GiraudAttack::new();
+        let mut pairs = 0;
+        while attack.master_key().is_none() {
+            let mut pt = [0u8; 16];
+            for b in &mut pt {
+                *b = rng.next_u64() as u8;
+            }
+            let correct = encrypt(&KEY, &pt);
+            let fault = sample_round_fault(&mut rng);
+            let faulty = encrypt_with_fault(&KEY, &pt, Some(fault));
+            attack.observe(&correct, &faulty);
+            pairs += 1;
+            assert!(pairs < 2_000, "DFA failed to converge");
+        }
+        assert_eq!(attack.master_key(), Some(KEY));
+        assert_eq!(attack.hypothesis_space(), 1);
+        // Classic Giraud needs on the order of tens of pairs.
+        assert!(pairs < 600, "needed {pairs} pairs");
+    }
+
+    #[test]
+    fn observe_ignores_identical_ciphertexts() {
+        let mut attack = GiraudAttack::new();
+        attack.observe(&CT, &CT);
+        // 256^16 = 2^128 saturates the u128 reporting type.
+        assert_eq!(attack.hypothesis_space(), u128::MAX);
+    }
+}

@@ -1,0 +1,4 @@
+//! Cryptographic victims the attacks target.
+
+pub mod aes;
+pub mod rsa;

@@ -1,0 +1,361 @@
+//! RSA-CRT victim and the Bellcore fault attack.
+//!
+//! Plundervolt's flagship exploit: fault a single multiplication inside
+//! one half of an RSA-CRT signature and the faulty signature `s'`
+//! factors the modulus via `gcd(s'^e − m, n)`. We implement a compact
+//! RSA with 32-bit primes (64-bit modulus) whose modular multiplications
+//! are **routed through a caller-supplied 64×64 multiplier** — in the
+//! attack campaigns that multiplier is the simulated CPU's faultable
+//! `imul`, so key extraction succeeds or fails according to the machine's
+//! physical state.
+
+use plugvolt_des::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit-modulus RSA key with CRT parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RsaKey {
+    /// First prime factor.
+    pub p: u32,
+    /// Second prime factor.
+    pub q: u32,
+    /// Modulus `p·q`.
+    pub n: u64,
+    /// Public exponent (65537).
+    pub e: u64,
+    /// Private exponent `e⁻¹ mod λ(n)`.
+    pub d: u64,
+    /// `d mod (p−1)`.
+    pub dp: u32,
+    /// `d mod (q−1)`.
+    pub dq: u32,
+    /// `q⁻¹ mod p`.
+    pub qinv: u32,
+}
+
+/// A multiplier: takes two operands, returns the (possibly faulted) low
+/// 64 bits of their product. The honest implementation is
+/// `|a, b| a.wrapping_mul(b)`.
+pub trait Multiplier {
+    /// Multiplies `a · b` (mod 2⁶⁴).
+    fn mul(&mut self, a: u64, b: u64) -> u64;
+}
+
+impl<F: FnMut(u64, u64) -> u64> Multiplier for F {
+    fn mul(&mut self, a: u64, b: u64) -> u64 {
+        self(a, b)
+    }
+}
+
+/// Deterministic Miller–Rabin, exact for all `u32` (bases 2, 7, 61).
+#[must_use]
+pub fn is_prime_u32(x: u32) -> bool {
+    if x < 2 {
+        return false;
+    }
+    for small in [2u32, 3, 5, 7, 11, 13] {
+        if x == small {
+            return true;
+        }
+        if x.is_multiple_of(small) {
+            return false;
+        }
+    }
+    let n = u64::from(x);
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 7, 61] {
+        if a % n == 0 {
+            continue;
+        }
+        let mut y = modpow_exact(a, d, n);
+        if y == 1 || y == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            y = mulmod_exact(y, y, n);
+            if y == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mulmod_exact(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Exact (fault-free) modular exponentiation.
+#[must_use]
+pub fn modpow_exact(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod_exact(acc, base, m);
+        }
+        base = mulmod_exact(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Extended GCD modular inverse (`a⁻¹ mod m`), `None` if not coprime.
+#[must_use]
+pub fn modinv(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (i128::from(a), i128::from(m));
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let qt = old_r / r;
+        (old_r, r) = (r, old_r - qt * r);
+        (old_s, s) = (s, old_s - qt * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mi = i128::from(m);
+    Some(((old_s % mi + mi) % mi) as u64)
+}
+
+impl RsaKey {
+    /// Generates a key from two random 31-bit primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if prime search exhausts its (astronomically
+    /// sufficient) iteration budget.
+    #[must_use]
+    pub fn generate(rng: &mut SimRng) -> Self {
+        let p = random_prime(rng);
+        let mut q = random_prime(rng);
+        while q == p {
+            q = random_prime(rng);
+        }
+        Self::from_primes(p, q)
+    }
+
+    /// Builds the key from explicit primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`/`q` are not distinct primes or 65537 is not
+    /// invertible mod λ(n).
+    #[must_use]
+    pub fn from_primes(p: u32, q: u32) -> Self {
+        assert!(is_prime_u32(p) && is_prime_u32(q), "factors must be prime");
+        assert_ne!(p, q, "factors must be distinct");
+        let e = 65_537u64;
+        let phi = u64::from(p - 1) * u64::from(q - 1);
+        let d = modinv(e, phi).expect("e coprime to phi");
+        RsaKey {
+            p,
+            q,
+            n: u64::from(p) * u64::from(q),
+            e,
+            d,
+            dp: (d % u64::from(p - 1)) as u32,
+            dq: (d % u64::from(q - 1)) as u32,
+            qinv: modinv(u64::from(q), u64::from(p)).expect("q invertible mod p") as u32,
+        }
+    }
+
+    /// Signs `m` (reduced mod n) with the CRT, routing every
+    /// multiplication through `mul` — the faultable path.
+    pub fn sign_crt(&self, m: u64, mul: &mut dyn Multiplier) -> u64 {
+        let m = m % self.n;
+        let p = u64::from(self.p);
+        let q = u64::from(self.q);
+        let sp = modpow_via(m % p, u64::from(self.dp), p, mul);
+        let sq = modpow_via(m % q, u64::from(self.dq), q, mul);
+        // Garner recombination: s = sq + q·((sp − sq)·qinv mod p).
+        let h = {
+            let diff = (sp + p - sq % p) % p;
+            mul.mul(diff, u64::from(self.qinv)) % p
+        };
+        sq + mul.mul(q, h)
+    }
+
+    /// Reference (fault-free) signature.
+    #[must_use]
+    pub fn sign_exact(&self, m: u64) -> u64 {
+        let mut honest = |a: u64, b: u64| a.wrapping_mul(b);
+        self.sign_crt(m, &mut honest)
+    }
+
+    /// Verifies a signature.
+    #[must_use]
+    pub fn verify(&self, m: u64, s: u64) -> bool {
+        s < self.n && modpow_exact(s, self.e, self.n) == m % self.n
+    }
+}
+
+/// Modular exponentiation where each multiplication goes through `mul`.
+/// Operands stay below 2³², so the 64-bit product is exact when `mul`
+/// is honest — and a flipped product bit corrupts the result the way a
+/// DVFS-faulted `imul` does.
+fn modpow_via(mut base: u64, mut exp: u64, m: u64, mul: &mut dyn Multiplier) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul.mul(acc, base) % m;
+        }
+        base = mul.mul(base, base) % m;
+        exp >>= 1;
+    }
+    acc
+}
+
+fn random_prime(rng: &mut SimRng) -> u32 {
+    for _ in 0..100_000 {
+        let candidate = (rng.next_u64() as u32) | 0x8000_0001; // 32-bit, odd
+        if is_prime_u32(candidate) {
+            return candidate;
+        }
+    }
+    panic!("prime search budget exhausted");
+}
+
+/// The Bellcore attack: given the message and a *faulty* CRT signature,
+/// recover a prime factor of `n` as `gcd(s'^e − m, n)`.
+///
+/// Returns the factor if the fault hit exactly one CRT half.
+#[must_use]
+pub fn bellcore_factor(key_public_n: u64, e: u64, m: u64, faulty_sig: u64) -> Option<u64> {
+    let n = key_public_n;
+    let se = modpow_exact(faulty_sig % n, e, n);
+    let m = m % n;
+    // (se − m) mod n in u128: n can exceed 2^63, so u64 addition of
+    // `se + n` would overflow.
+    let diff = ((u128::from(se) + u128::from(n) - u128::from(m)) % u128::from(n)) as u64;
+    if diff == 0 {
+        return None;
+    }
+    let g = gcd(diff, n);
+    (g > 1 && g < n).then_some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed_label(1, "rsa-tests")
+    }
+
+    #[test]
+    fn primality_spot_checks() {
+        assert!(is_prime_u32(2));
+        assert!(is_prime_u32(61));
+        assert!(is_prime_u32(2_147_483_647)); // 2^31 − 1
+        assert!(!is_prime_u32(0));
+        assert!(!is_prime_u32(1));
+        assert!(!is_prime_u32(2_147_483_649)); // 3 × 715827883
+        assert!(!is_prime_u32(561)); // Carmichael
+        assert!(!is_prime_u32(u32::MAX)); // 3·5·17·257·65537
+    }
+
+    #[test]
+    fn modinv_inverts() {
+        assert_eq!(modinv(3, 11), Some(4));
+        assert_eq!(modinv(10, 17).map(|x| 10 * x % 17), Some(1));
+        assert_eq!(modinv(6, 9), None);
+    }
+
+    #[test]
+    fn keygen_produces_working_keys() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let key = RsaKey::generate(&mut r);
+            let m = r.next_u64() % key.n;
+            let s = key.sign_exact(m);
+            assert!(key.verify(m, s), "m={m} n={}", key.n);
+            // Textbook check too: s == m^d mod n.
+            assert_eq!(s, modpow_exact(m, key.d, key.n));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_signature() {
+        let mut r = rng();
+        let key = RsaKey::generate(&mut r);
+        let m = 0x1234_5678;
+        let s = key.sign_exact(m);
+        assert!(!key.verify(m, s ^ 1));
+        assert!(!key.verify(m + 1, s));
+    }
+
+    #[test]
+    fn bellcore_recovers_factor_from_single_half_fault() {
+        let mut r = rng();
+        let key = RsaKey::generate(&mut r);
+        let m = 0xDEAD_BEEF % key.n;
+        // Fault exactly one multiplication inside the q-half exponentiation.
+        let mut count = 0u32;
+        let fault_at = 7;
+        let mut faulty_mul = |a: u64, b: u64| {
+            count += 1;
+            let correct = a.wrapping_mul(b);
+            if count == fault_at {
+                correct ^ (1 << 20)
+            } else {
+                correct
+            }
+        };
+        let s_faulty = key.sign_crt(m, &mut faulty_mul);
+        assert!(!key.verify(m, s_faulty), "fault must corrupt the signature");
+        let factor = bellcore_factor(key.n, key.e, m, s_faulty).expect("factors");
+        assert!(factor == u64::from(key.p) || factor == u64::from(key.q));
+        assert_eq!(key.n % factor, 0);
+    }
+
+    #[test]
+    fn bellcore_fails_on_correct_signature() {
+        let mut r = rng();
+        let key = RsaKey::generate(&mut r);
+        let m = 42;
+        let s = key.sign_exact(m);
+        assert_eq!(bellcore_factor(key.n, key.e, m, s), None);
+    }
+
+    #[test]
+    fn crt_multiplication_operands_fit_32_bits() {
+        // The fault model assumes 32×32→64 products; check the signing
+        // path never feeds the multiplier wider operands (except the
+        // final recombination whose factors are < p, q, or diff < p).
+        let mut r = rng();
+        let key = RsaKey::generate(&mut r);
+        let mut max_operand = 0u64;
+        let mut watch = |a: u64, b: u64| {
+            max_operand = max_operand.max(a).max(b);
+            a.wrapping_mul(b)
+        };
+        let _ = key.sign_crt(0xABCDEF, &mut watch);
+        assert!(max_operand < 1 << 32, "operand {max_operand:#x}");
+    }
+
+    #[test]
+    fn from_primes_validates() {
+        let key = RsaKey::from_primes(0xC000_0007, 0x8000_000B);
+        assert!(key.verify(12345, key.sign_exact(12345)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be prime")]
+    fn composite_factor_rejected() {
+        let _ = RsaKey::from_primes(0xC000_0007, 1_000_000);
+    }
+}

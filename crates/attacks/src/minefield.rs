@@ -1,0 +1,239 @@
+//! Minefield-style deflection defense \[15\] — the baseline the paper
+//! argues against.
+//!
+//! Minefield is a compiler extension that plants fault-sensitive *canary*
+//! instructions between the victim's real instructions inside the
+//! enclave; after each block a check verifies the canaries and *traps*
+//! (aborts the computation) if any faulted, deflecting the attack before
+//! the faulty value can leave the enclave. Here the instrumentation is
+//! applied to the RSA-CRT signer: every real multiplication is preceded
+//! by `canaries_per_mult` full-width canary `imul`s whose expected
+//! products are known.
+//!
+//! Two properties the paper leans on fall out measurably:
+//!
+//! 1. **Cost** — the protected computation executes
+//!    `1 + canaries_per_mult` times the multiplications (Minefield's
+//!    evaluation reports comparable slowdowns on protected enclaves),
+//!    versus the polling module's ≈ 0.3 % *system-wide* overhead;
+//! 2. **The stepping hole** — the trap runs *after* the faultable
+//!    instruction; an SGX-Step/zero-step adversary isolates the fault
+//!    and harvests the faulty value before any canary check executes
+//!    (Sec. 4.1 of the paper).
+
+use crate::crypto::rsa::RsaKey;
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::package::PackageError;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_kernel::sgx::SteppingCapability;
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinefieldConfig {
+    /// Canary `imul`s planted before each real multiplication.
+    pub canaries_per_mult: u32,
+}
+
+impl Default for MinefieldConfig {
+    fn default() -> Self {
+        MinefieldConfig {
+            canaries_per_mult: 1,
+        }
+    }
+}
+
+/// Outcome of one deflected signing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeflectedSign {
+    /// The signature the computation produced (possibly faulty).
+    pub signature: u64,
+    /// Whether a canary check detected a fault (the enclave traps and
+    /// refuses to release the signature through its legitimate exit).
+    pub trapped: bool,
+    /// Canary faults observed.
+    pub canary_faults: u64,
+    /// Real multiplications executed.
+    pub real_mults: u64,
+    /// Canary multiplications executed (the instrumentation cost).
+    pub canary_mults: u64,
+}
+
+impl DeflectedSign {
+    /// What an adversary with `stepping` capability obtains from this
+    /// run: the signature leaks if the enclave released it (no trap) or
+    /// if the adversary can single/zero-step past the trap (Sec. 4.1).
+    #[must_use]
+    pub fn adversary_view(&self, stepping: SteppingCapability) -> Option<u64> {
+        if !self.trapped || stepping.defeats_trap_deflection() {
+            Some(self.signature)
+        } else {
+            None
+        }
+    }
+}
+
+/// Signs `msg` under Minefield instrumentation on the simulated CPU.
+///
+/// # Errors
+///
+/// Propagates machine errors (including a package crash).
+pub fn sign_with_deflection(
+    machine: &mut Machine,
+    core: CoreId,
+    key: &RsaKey,
+    msg: u64,
+    cfg: &MinefieldConfig,
+) -> Result<DeflectedSign, MachineError> {
+    let now = machine.now();
+    let mut canary_faults = 0u64;
+    let mut real_mults = 0u64;
+    let mut canary_mults = 0u64;
+    let mut failure: Option<PackageError> = None;
+    let signature = {
+        let cpu = machine.cpu_mut();
+        let mut mul = |a: u64, b: u64| {
+            // Canaries first: maximally deep operands, known product.
+            for i in 0..cfg.canaries_per_mult {
+                canary_mults += 1;
+                let ca = u64::MAX - u64::from(i);
+                let cb = u64::MAX - u64::from(i).rotate_left(17);
+                match cpu.execute_imul(now, core, ca, cb) {
+                    Ok(ex) => {
+                        if ex.value != ca.wrapping_mul(cb) {
+                            canary_faults += 1;
+                        }
+                    }
+                    Err(e) => {
+                        failure.get_or_insert(e);
+                    }
+                }
+            }
+            real_mults += 1;
+            match cpu.execute_imul(now, core, a, b) {
+                Ok(ex) => ex.value,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    a.wrapping_mul(b)
+                }
+            }
+        };
+        key.sign_crt(msg, &mut mul)
+    };
+    if let Some(e) = failure {
+        return Err(MachineError::Package(e));
+    }
+    // Account the instrumented computation's wall time.
+    let freq = machine.cpu().core_freq(core)?;
+    machine.advance(SimDuration::from_cycles(
+        (real_mults + canary_mults) * 3,
+        freq.mhz(),
+    ));
+    Ok(DeflectedSign {
+        signature,
+        trapped: canary_faults > 0,
+        canary_faults,
+        real_mults,
+        canary_mults,
+    })
+}
+
+/// The instrumentation's multiplication overhead factor.
+#[must_use]
+pub fn instrumentation_factor(cfg: &MinefieldConfig) -> f64 {
+    1.0 + f64::from(cfg.canaries_per_mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::freq::FreqMhz;
+    use plugvolt_cpu::model::CpuModel;
+    use plugvolt_des::rng::SimRng;
+    use plugvolt_kernel::cpupower::CpuPower;
+    use plugvolt_kernel::msr_dev::MsrDev;
+    use plugvolt_msr::addr::Msr;
+    use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+
+    fn key() -> RsaKey {
+        RsaKey::generate(&mut SimRng::from_seed_label(4, "minefield"))
+    }
+
+    #[test]
+    fn clean_conditions_sign_correctly_without_traps() {
+        let mut m = Machine::new(CpuModel::CometLake, 71);
+        let k = key();
+        let out =
+            sign_with_deflection(&mut m, CoreId(0), &k, 1234, &MinefieldConfig::default()).unwrap();
+        assert!(!out.trapped);
+        assert!(k.verify(1234, out.signature));
+        assert_eq!(out.canary_mults, out.real_mults);
+        assert_eq!(
+            out.adversary_view(SteppingCapability::None),
+            Some(out.signature)
+        );
+    }
+
+    #[test]
+    fn undervolted_conditions_trap_and_withhold_from_weak_adversaries() {
+        let mut m = Machine::new(CpuModel::CometLake, 71);
+        let k = key();
+        // Park the machine deep in the unsafe band at f_max.
+        let mut cpupower = CpuPower::new(&m);
+        cpupower.frequency_set_all(&mut m, FreqMhz(4_900)).unwrap();
+        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let req = OcRequest::write_offset(-175, Plane::Core).encode();
+        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        m.advance(SimDuration::from_millis(2));
+        // Collect runs until one traps.
+        let mut trapped_run = None;
+        for i in 0..200 {
+            let out =
+                sign_with_deflection(&mut m, CoreId(0), &k, 1000 + i, &MinefieldConfig::default())
+                    .unwrap();
+            if out.trapped {
+                trapped_run = Some(out);
+                break;
+            }
+        }
+        let out = trapped_run.expect("canaries must eventually catch a fault epoch");
+        assert!(out.canary_faults > 0);
+        // No stepping: the trap deflects the attack.
+        assert_eq!(out.adversary_view(SteppingCapability::None), None);
+        // Stepping: the faulty value is harvested before the trap.
+        assert_eq!(
+            out.adversary_view(SteppingCapability::SingleStep),
+            Some(out.signature)
+        );
+        assert_eq!(
+            out.adversary_view(SteppingCapability::ZeroStep),
+            Some(out.signature)
+        );
+    }
+
+    #[test]
+    fn instrumentation_cost_scales_with_density() {
+        assert_eq!(instrumentation_factor(&MinefieldConfig::default()), 2.0);
+        assert_eq!(
+            instrumentation_factor(&MinefieldConfig {
+                canaries_per_mult: 3
+            }),
+            4.0
+        );
+        // Measured: a density-3 run executes 3 canaries per real mult.
+        let mut m = Machine::new(CpuModel::CometLake, 71);
+        let k = key();
+        let out = sign_with_deflection(
+            &mut m,
+            CoreId(0),
+            &k,
+            7,
+            &MinefieldConfig {
+                canaries_per_mult: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.canary_mults, 3 * out.real_mults);
+    }
+}

@@ -1,0 +1,177 @@
+//! V0LTpwn-style integrity attack \[14\].
+//!
+//! V0LTpwn attacked *x86 processor integrity* broadly: rather than one
+//! crypto primitive, it showed that undervolting corrupts SIMD/FMA-heavy
+//! computation (their key target was vector operations inside SGX),
+//! breaking integrity of arbitrary enclave logic. We reproduce the
+//! campaign as an integrity-violation-rate measurement over the `Fma`
+//! instruction class, sweeping the offset and reporting where the
+//! violation rate becomes non-zero.
+
+use crate::campaign::{is_crash, Adversary, AttackReport};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::exec::InstrClass;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct V0ltpwnConfig {
+    /// Frequency to pin the victim core at.
+    pub target_freq: FreqMhz,
+    /// First offset tried.
+    pub start_offset_mv: i32,
+    /// Deepest offset tried.
+    pub floor_offset_mv: i32,
+    /// Offset step.
+    pub step_mv: i32,
+    /// FMA operations per offset step.
+    pub ops_per_step: u64,
+    /// Victim core.
+    pub victim_core: CoreId,
+}
+
+impl Default for V0ltpwnConfig {
+    fn default() -> Self {
+        V0ltpwnConfig {
+            target_freq: FreqMhz(4_200),
+            start_offset_mv: -120,
+            floor_offset_mv: -300,
+            step_mv: 10,
+            ops_per_step: 2_000_000,
+            victim_core: CoreId(0),
+        }
+    }
+}
+
+/// Per-offset integrity measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegrityPoint {
+    /// Offset tested.
+    pub offset_mv: i32,
+    /// FMA operations executed.
+    pub ops: u64,
+    /// Operations with corrupted results.
+    pub violations: u64,
+}
+
+impl IntegrityPoint {
+    /// Violations per operation.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Full campaign output: the report plus the rate curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct V0ltpwnReport {
+    /// Standard campaign summary.
+    pub report: AttackReport,
+    /// Violation rate per offset step.
+    pub curve: Vec<IntegrityPoint>,
+}
+
+/// Runs the integrity campaign.
+///
+/// # Errors
+///
+/// Propagates non-crash machine errors.
+pub fn run_v0ltpwn_attack(
+    machine: &mut Machine,
+    cfg: &V0ltpwnConfig,
+) -> Result<V0ltpwnReport, MachineError> {
+    let mut report = AttackReport::new("v0ltpwn-fma-integrity");
+    let mut curve = Vec::new();
+    let mut adv = Adversary::new(machine, cfg.victim_core)?;
+    adv.pin_frequency(machine, cfg.target_freq)?;
+    machine.advance(SimDuration::from_millis(1));
+
+    let mut offset = cfg.start_offset_mv;
+    while offset >= cfg.floor_offset_mv {
+        report.attempts += 1;
+        adv.undervolt_and_wait(machine, offset)?;
+        let now = machine.now();
+        match machine
+            .cpu_mut()
+            .run_batch(now, cfg.victim_core, InstrClass::Fma, cfg.ops_per_step)
+        {
+            Ok(violations) => {
+                machine.advance(SimDuration::from_millis(1));
+                curve.push(IntegrityPoint {
+                    offset_mv: offset,
+                    ops: cfg.ops_per_step,
+                    violations,
+                });
+                if violations > 0 {
+                    report.faulty_events += violations;
+                    if !report.success {
+                        report.success = true;
+                        report.extracted = Some(format!(
+                            "FMA integrity broken from {offset} mV at {}",
+                            cfg.target_freq
+                        ));
+                    }
+                }
+            }
+            Err(e) if is_crash(&MachineError::Package(e)) => {
+                adv.recover_from_crash(machine, cfg.target_freq, &mut report)?;
+                break;
+            }
+            Err(e) => return Err(MachineError::Package(e)),
+        }
+        offset -= cfg.step_mv;
+    }
+    adv.restore(machine)?;
+    report.wall = adv.elapsed(machine);
+    Ok(V0ltpwnReport { report, curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn integrity_breaks_as_offset_deepens() {
+        let mut m = Machine::new(CpuModel::KabyLakeR, 66);
+        let cfg = V0ltpwnConfig {
+            target_freq: FreqMhz(3_400),
+            ..V0ltpwnConfig::default()
+        };
+        let out = run_v0ltpwn_attack(&mut m, &cfg).unwrap();
+        assert!(out.report.success, "report: {:?}", out.report);
+        // The rate curve is (weakly) increasing with depth until crash.
+        let rates: Vec<f64> = out.curve.iter().map(IntegrityPoint::rate).collect();
+        assert!(
+            rates.first().copied().unwrap_or(1.0) < 1e-6,
+            "shallow end clean"
+        );
+        assert!(
+            rates.last().copied().unwrap_or(0.0) > 0.0,
+            "deep end faulty"
+        );
+    }
+
+    #[test]
+    fn rate_helper() {
+        let p = IntegrityPoint {
+            offset_mv: -100,
+            ops: 1_000,
+            violations: 25,
+        };
+        assert!((p.rate() - 0.025).abs() < 1e-12);
+        let zero = IntegrityPoint {
+            offset_mv: -1,
+            ops: 0,
+            violations: 0,
+        };
+        assert_eq!(zero.rate(), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! VoltJockey-style cross-core attack \[21\].
+//!
+//! VoltJockey's signature move: the adversary runs on a *sibling core*
+//! and exploits the fact that the voltage plane is shared across the
+//! package while frequencies are per-core. The adversary briefly pulses
+//! the shared rail with a deep undervolt from its own core, timed
+//! against the victim core's computation, then restores — keeping the
+//! average system state innocuous while the victim accumulates faults.
+
+use crate::campaign::{is_crash, Adversary, AttackReport};
+use crate::crypto::rsa::{bellcore_factor, RsaKey};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_des::rng::SimRng;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoltJockeyConfig {
+    /// Core the adversary controls (issues the pulses).
+    pub adversary_core: CoreId,
+    /// Core the victim computes on.
+    pub victim_core: CoreId,
+    /// Victim core frequency (the adversary pins it high).
+    pub victim_freq: FreqMhz,
+    /// First pulse depth tried (mV, negative). Real campaigns walk the
+    /// depth until the victim faults *sometimes* — a 100 % fault rate
+    /// corrupts both CRT halves and defeats the Bellcore gcd.
+    pub pulse_start_mv: i32,
+    /// Deepest pulse tried.
+    pub pulse_floor_mv: i32,
+    /// Depth step between rounds.
+    pub pulse_step_mv: i32,
+    /// How long each pulse holds before restoring.
+    pub pulse_hold: SimDuration,
+    /// Victim signatures per pulse depth.
+    pub victims_per_round: u32,
+}
+
+impl Default for VoltJockeyConfig {
+    fn default() -> Self {
+        VoltJockeyConfig {
+            adversary_core: CoreId(1),
+            victim_core: CoreId(0),
+            victim_freq: FreqMhz(4_000),
+            pulse_start_mv: -200,
+            pulse_floor_mv: -280,
+            pulse_step_mv: 2,
+            pulse_hold: SimDuration::from_millis(3),
+            victims_per_round: 20,
+        }
+    }
+}
+
+/// Runs the cross-core pulsed campaign against an RSA-CRT victim.
+///
+/// # Errors
+///
+/// Propagates non-crash machine errors.
+pub fn run_voltjockey_attack(
+    machine: &mut Machine,
+    cfg: &VoltJockeyConfig,
+    seed: u64,
+) -> Result<AttackReport, MachineError> {
+    let mut report = AttackReport::new("voltjockey-cross-core");
+    let mut rng = SimRng::from_seed_label(seed, "voltjockey");
+    let key = RsaKey::generate(&mut rng);
+    // The adversary drives MSRs from its own core; frequencies are
+    // per-core so the victim's is pinned independently.
+    let mut adv = Adversary::new(machine, cfg.adversary_core)?;
+    {
+        let mut victim_freq_setter = Adversary::new(machine, cfg.victim_core)?;
+        victim_freq_setter.pin_frequency(machine, cfg.victim_freq)?;
+    }
+    machine.advance(SimDuration::from_millis(1));
+
+    let mut depth = cfg.pulse_start_mv;
+    'rounds: while depth >= cfg.pulse_floor_mv {
+        report.attempts += 1;
+        // Pulse: undervolt from the sibling core, walking deeper.
+        adv.undervolt_and_wait(machine, depth)?;
+        machine.advance(cfg.pulse_hold);
+        // Victim computes during the pulse window.
+        for _ in 0..cfg.victims_per_round {
+            let msg = rng.next_u64() % key.n;
+            let now = machine.now();
+            let sig = {
+                let cpu = machine.cpu_mut();
+                let mut failure = None;
+                let mut mul = |a: u64, b: u64| match cpu.execute_imul(now, cfg.victim_core, a, b) {
+                    Ok(ex) => ex.value,
+                    Err(e) => {
+                        failure.get_or_insert(e);
+                        a.wrapping_mul(b)
+                    }
+                };
+                let s = key.sign_crt(msg, &mut mul);
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(s),
+                }
+            };
+            match sig {
+                Ok(sig) => {
+                    machine.advance(SimDuration::from_micros(20));
+                    if !key.verify(msg, sig) {
+                        report.faulty_events += 1;
+                        if let Some(factor) = bellcore_factor(key.n, key.e, msg, sig) {
+                            report.success = true;
+                            report.extracted =
+                                Some(format!("prime factor {factor:#x} via sibling core"));
+                            break 'rounds;
+                        }
+                    }
+                }
+                Err(e) if is_crash(&MachineError::Package(e)) => {
+                    adv.recover_from_crash(machine, cfg.victim_freq, &mut report)?;
+                    // Re-pin the victim core after reset.
+                    let mut v = Adversary::new(machine, cfg.victim_core)?;
+                    v.pin_frequency(machine, cfg.victim_freq)?;
+                    continue 'rounds;
+                }
+                Err(e) => return Err(MachineError::Package(e)),
+            }
+        }
+        // Restore between pulses: the time-averaged state looks benign.
+        adv.restore(machine)?;
+        depth -= cfg.pulse_step_mv;
+    }
+    adv.restore(machine)?;
+    report.wall = adv.elapsed(machine);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn cross_core_pulses_extract_the_key() {
+        let mut m = Machine::new(CpuModel::CometLake, 55);
+        let report = run_voltjockey_attack(&mut m, &VoltJockeyConfig::default(), 3).unwrap();
+        assert!(report.success, "report: {report:?}");
+        assert!(report.extracted.as_deref().unwrap().contains("sibling"));
+    }
+
+    #[test]
+    fn shallow_pulses_are_harmless() {
+        let mut m = Machine::new(CpuModel::CometLake, 55);
+        let cfg = VoltJockeyConfig {
+            pulse_start_mv: -40,
+            pulse_floor_mv: -60,
+            pulse_step_mv: 5,
+            ..VoltJockeyConfig::default()
+        };
+        let report = run_voltjockey_attack(&mut m, &cfg, 3).unwrap();
+        assert!(!report.success);
+        assert_eq!(report.faulty_events, 0);
+    }
+
+    #[test]
+    fn adversary_and_victim_frequencies_are_independent() {
+        let mut m = Machine::new(CpuModel::CometLake, 55);
+        let cfg = VoltJockeyConfig::default();
+        let _ = run_voltjockey_attack(&mut m, &cfg, 3).unwrap();
+        // The adversary core still runs at base frequency.
+        assert_eq!(
+            m.cpu().core_freq(cfg.adversary_core).unwrap(),
+            m.cpu().spec().base_freq
+        );
+    }
+}

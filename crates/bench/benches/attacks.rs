@@ -1,0 +1,101 @@
+//! Criterion benches for the attack campaigns and crypto victims: how
+//! expensive is an adversary's life on this simulator?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plugvolt_attacks::crypto::aes::{self, GiraudAttack};
+use plugvolt_attacks::crypto::rsa::{bellcore_factor, RsaKey};
+use plugvolt_attacks::plundervolt::{run_rsa_attack, PlundervoltConfig};
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_des::rng::SimRng;
+use plugvolt_kernel::machine::Machine;
+use std::hint::black_box;
+
+fn bench_rsa_sign(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed_label(1, "bench-rsa");
+    let key = RsaKey::generate(&mut rng);
+    c.bench_function("crypto/rsa-crt-sign", |b| {
+        let mut m = 12_345u64;
+        b.iter(|| {
+            m = m.wrapping_mul(0x9E37_79B9).wrapping_add(1) % key.n;
+            black_box(key.sign_exact(m))
+        });
+    });
+}
+
+fn bench_bellcore(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed_label(2, "bench-bellcore");
+    let key = RsaKey::generate(&mut rng);
+    let m = 0xBEEF % key.n;
+    // A signature faulted in one CRT half.
+    let mut count = 0u32;
+    let mut faulty_mul = |a: u64, b: u64| {
+        count += 1;
+        let p = a.wrapping_mul(b);
+        if count == 5 {
+            p ^ (1 << 17)
+        } else {
+            p
+        }
+    };
+    let s_faulty = key.sign_crt(m, &mut faulty_mul);
+    c.bench_function("crypto/bellcore-factor", |b| {
+        b.iter(|| black_box(bellcore_factor(key.n, key.e, m, s_faulty)));
+    });
+}
+
+fn bench_aes_encrypt(c: &mut Criterion) {
+    let key = [0x2bu8; 16];
+    c.bench_function("crypto/aes128-encrypt", |b| {
+        let mut pt = [0u8; 16];
+        b.iter(|| {
+            pt[0] = pt[0].wrapping_add(1);
+            black_box(aes::encrypt(&key, &pt))
+        });
+    });
+}
+
+fn bench_giraud_observe(c: &mut Criterion) {
+    let key = [0x2bu8; 16];
+    let mut rng = SimRng::from_seed_label(3, "bench-dfa");
+    let pairs: Vec<([u8; 16], [u8; 16])> = (0..64)
+        .map(|i| {
+            let mut pt = [0u8; 16];
+            pt[0] = i;
+            let correct = aes::encrypt(&key, &pt);
+            let faulty =
+                aes::encrypt_with_fault(&key, &pt, Some(aes::sample_round_fault(&mut rng)));
+            (correct, faulty)
+        })
+        .collect();
+    c.bench_function("crypto/giraud-observe-64-pairs", |b| {
+        b.iter(|| {
+            let mut dfa = GiraudAttack::new();
+            for (correct, faulty) in &pairs {
+                dfa.observe(correct, faulty);
+            }
+            black_box(dfa.hypothesis_space())
+        });
+    });
+}
+
+fn bench_full_rsa_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/plundervolt-rsa-campaign");
+    group.sample_size(10);
+    group.bench_function("undefended", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(CpuModel::CometLake, 42);
+            black_box(run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1).expect("runs"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rsa_sign,
+    bench_bellcore,
+    bench_aes_encrypt,
+    bench_giraud_observe,
+    bench_full_rsa_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the S1 characterization pipeline (the data
+//! source behind Figures 2–4): how long the sweep itself takes at
+//! several resolutions, per CPU generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plugvolt::characterize::{analytic_map, characterize, SweepConfig};
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_kernel::machine::Machine;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize/coarse-sweep");
+    group.sample_size(10);
+    for model in CpuModel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(model), &model, |b, &model| {
+            b.iter(|| {
+                let mut machine = Machine::new(model, 21);
+                let cfg = SweepConfig {
+                    offset_step_mv: 10,
+                    freq_step_mhz: 500,
+                    ..SweepConfig::default()
+                };
+                black_box(characterize(&mut machine, &cfg).expect("sweep"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_point_density(c: &mut Criterion) {
+    // Fixed model, varying offset resolution: the sweep cost is linear
+    // in grid points, so per-point cost is the figure of merit.
+    let mut group = c.benchmark_group("characterize/offset-resolution");
+    group.sample_size(10);
+    for step in [20, 10, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter(|| {
+                let mut machine = Machine::new(CpuModel::SkyLake, 21);
+                let cfg = SweepConfig {
+                    offset_step_mv: step,
+                    freq_step_mhz: 700,
+                    ..SweepConfig::default()
+                };
+                black_box(characterize(&mut machine, &cfg).expect("sweep"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_map(c: &mut Criterion) {
+    c.bench_function("characterize/analytic-oracle", |b| {
+        let spec = CpuModel::CometLake.spec();
+        b.iter(|| black_box(analytic_map(&spec)));
+    });
+}
+
+fn bench_map_classify(c: &mut Criterion) {
+    let map = analytic_map(&CpuModel::CometLake.spec());
+    c.bench_function("charmap/classify", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let f = plugvolt_cpu::freq::FreqMhz(400 + (i % 45) * 100);
+            let off = -((i % 300) as i32);
+            black_box(map.classify(f, off))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sweep,
+    bench_grid_point_density,
+    bench_analytic_map,
+    bench_map_classify
+);
+criterion_main!(benches);

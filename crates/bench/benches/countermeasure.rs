@@ -1,0 +1,118 @@
+//! Criterion benches for the S2 countermeasure: the polling module's
+//! own cost (the quantity Table 2 measures end to end) and the
+//! deployment paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plugvolt::characterize::analytic_map;
+use plugvolt::deploy::{deploy, Deployment};
+use plugvolt::poll::{PollConfig, PollingModule};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::exec::InstrClass;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::Machine;
+use std::hint::black_box;
+
+fn bench_poll_ticks(c: &mut Criterion) {
+    // Cost of simulating 1 ms of polling (5 ticks × 4 cores at 200 µs).
+    let map = analytic_map(&CpuModel::CometLake.spec());
+    c.bench_function("poll/1ms-of-ticks", |b| {
+        let mut machine = Machine::new(CpuModel::CometLake, 5);
+        let (module, _stats) = PollingModule::new(map.clone(), PollConfig::default());
+        machine.load_module(Box::new(module)).expect("loads");
+        b.iter(|| {
+            machine.advance(SimDuration::from_millis(1));
+            black_box(machine.now())
+        });
+    });
+}
+
+fn bench_workload_under_polling(c: &mut Criterion) {
+    let map = analytic_map(&CpuModel::CometLake.spec());
+    let mut group = c.benchmark_group("poll/workload-10M-alu");
+    group.sample_size(20);
+    for with_polling in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if with_polling { "with-poll" } else { "no-poll" }),
+            &with_polling,
+            |b, &with_polling| {
+                b.iter(|| {
+                    let mut machine = Machine::new(CpuModel::CometLake, 5);
+                    if with_polling {
+                        let (module, _stats) =
+                            PollingModule::new(map.clone(), PollConfig::default());
+                        machine.load_module(Box::new(module)).expect("loads");
+                    }
+                    black_box(
+                        machine
+                            .run_workload(CoreId(0), InstrClass::AluAdd, 10_000_000)
+                            .expect("runs"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_deploy_paths(c: &mut Criterion) {
+    let map = analytic_map(&CpuModel::CometLake.spec());
+    let mut group = c.benchmark_group("deploy");
+    for deployment in [
+        Deployment::PollingModule(PollConfig::default()),
+        Deployment::Microcode {
+            revision: 0xf5,
+            margin_mv: 5,
+        },
+        Deployment::HardwareMsr { margin_mv: 5 },
+        Deployment::OcmDisable,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(deployment.label()),
+            &deployment,
+            |b, deployment| {
+                b.iter(|| {
+                    let mut machine = Machine::new(CpuModel::CometLake, 5);
+                    black_box(deploy(&mut machine, &map, deployment.clone()).expect("deploys"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection_roundtrip(c: &mut Criterion) {
+    // Full attack-write → detect → restore round trip under polling.
+    use plugvolt_kernel::msr_dev::MsrDev;
+    use plugvolt_msr::addr::Msr;
+    use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+    let map = analytic_map(&CpuModel::CometLake.spec());
+    c.bench_function("poll/detect-restore-roundtrip", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(CpuModel::CometLake, 5);
+            let (module, stats) = PollingModule::new(map.clone(), PollConfig::default());
+            machine.load_module(Box::new(module)).expect("loads");
+            let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
+            let fast = machine.cpu().spec().freq_table.max();
+            cpupower
+                .frequency_set(&mut machine, CoreId(0), fast)
+                .expect("pins");
+            let dev = MsrDev::open(&machine, CoreId(0)).expect("opens");
+            let req = OcRequest::write_offset(-250, Plane::Core).encode();
+            dev.write(&mut machine, Msr::OC_MAILBOX, req)
+                .expect("writes");
+            machine.advance(SimDuration::from_micros(400));
+            let restores = stats.borrow().restores;
+            black_box(restores)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_poll_ticks,
+    bench_workload_under_polling,
+    bench_deploy_paths,
+    bench_detection_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the SPEC-like workload harness (Table 2 path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plugvolt::characterize::analytic_map;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_kernel::machine::Machine;
+use plugvolt_workloads::overhead::{measure_benchmark, OverheadConfig};
+use plugvolt_workloads::rate::run_rate;
+use plugvolt_workloads::suite::{find, Benchmark, Tuning};
+use std::hint::black_box;
+
+fn scaled(b: &Benchmark) -> Benchmark {
+    Benchmark {
+        instructions: b.instructions / 100,
+        ..*b
+    }
+}
+
+fn bench_single_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/rate-run-1%");
+    group.sample_size(20);
+    for name in ["503.bwaves_r", "505.mcf_r", "557.xz_r"] {
+        let bench = scaled(find(name).expect("known benchmark"));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
+            b.iter(|| {
+                let mut machine = Machine::new(CpuModel::CometLake, 3);
+                black_box(run_rate(&mut machine, bench, Tuning::Base).expect("runs"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_row(c: &mut Criterion) {
+    let cfg = OverheadConfig {
+        work_divisor: 100,
+        ..OverheadConfig::default()
+    };
+    let map = analytic_map(&cfg.model.spec());
+    let bench = find("525.x264_r").expect("known benchmark");
+    let mut group = c.benchmark_group("workload/table2-row");
+    group.sample_size(10);
+    group.bench_function("x264", |b| {
+        b.iter(|| black_box(measure_benchmark(bench, &cfg, &map).expect("measures")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_rate, bench_table2_row);
+criterion_main!(benches);

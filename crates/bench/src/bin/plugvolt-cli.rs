@@ -1,0 +1,166 @@
+//! `plugvolt-cli` — operator-style front end to the reproduction.
+//!
+//! Mirrors the workflow a vendor/admin would run on real hardware:
+//!
+//! ```text
+//! plugvolt-cli characterize --model comet-lake --out map.json [--coarse]
+//! plugvolt-cli inspect      --map map.json
+//! plugvolt-cli maximal      --map map.json [--margin 5]
+//! plugvolt-cli attack       --model comet-lake [--map map.json --deploy polling|microcode|hardware|ocm-disable]
+//! plugvolt-cli energy       --model comet-lake --map map.json
+//! ```
+//!
+//! The characterization artifact is plain JSON — the same bytes the
+//! kernel module consumes — so the stages can run on different machines,
+//! exactly like the paper's S1 (vendor/admin) → S2 (deployment) split.
+
+use plugvolt::characterize::{characterize, SweepConfig};
+use plugvolt::charmap::CharacterizationMap;
+use plugvolt::deploy::{deploy, Deployment};
+use plugvolt::maximal::MaximalSafeState;
+use plugvolt::poll::PollConfig;
+use plugvolt_attacks::plundervolt::{run_rsa_attack, PlundervoltConfig};
+use plugvolt_bench::experiments::energy_ablation;
+use plugvolt_bench::text::TextTable;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_kernel::machine::Machine;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plugvolt-cli: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let flag = |name: &str| args.iter().any(|a| a == name);
+
+    match cmd {
+        "characterize" => {
+            let model = parse_model(&opt("--model").ok_or("--model required")?)?;
+            let out = opt("--out").ok_or("--out required")?;
+            let seed = opt("--seed").map_or(Ok(2024), |s| s.parse::<u64>())?;
+            let cfg = if flag("--coarse") {
+                SweepConfig::coarse()
+            } else {
+                SweepConfig::default()
+            };
+            let mut machine = Machine::new(model, seed);
+            eprintln!(
+                "sweeping {model} ({} resolution)…",
+                if flag("--coarse") { "coarse" } else { "paper" }
+            );
+            let run = characterize(&mut machine, &cfg)?;
+            std::fs::write(&out, serde_json::to_string_pretty(&run.map)?)?;
+            eprintln!(
+                "{} grid points, {} crashes, {} simulated → {out}",
+                run.records.len(),
+                run.crashes,
+                run.duration
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let map = load_map(&opt("--map").ok_or("--map required")?)?;
+            println!(
+                "characterization of {} (microcode {:#x}), sweep floor {} mV",
+                map.cpu_name(),
+                map.microcode(),
+                map.sweep_floor_mv()
+            );
+            let mut t = TextTable::new(["frequency", "fault onset (mV)", "crash (mV)"]);
+            for (f, band) in map.iter() {
+                t.row([
+                    f.to_string(),
+                    band.fault_onset_mv.map_or("-".into(), |o| o.to_string()),
+                    band.crash_mv.map_or("-".into(), |c| c.to_string()),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        "maximal" => {
+            let map = load_map(&opt("--map").ok_or("--map required")?)?;
+            let margin = opt("--margin").map_or(Ok(5), |s| s.parse::<i32>())?;
+            match MaximalSafeState::from_map(&map, margin) {
+                Some(mss) => {
+                    println!(
+                        "maximal safe state of {}: {} mV (margin {} mV)",
+                        mss.cpu_name, mss.offset_mv, mss.margin_mv
+                    );
+                    println!("microcode bound / MSR clamp value: {} mV", mss.offset_mv);
+                    Ok(())
+                }
+                None => Err("map certifies nothing (empty?)".into()),
+            }
+        }
+        "attack" => {
+            let model = parse_model(&opt("--model").ok_or("--model required")?)?;
+            let mut machine = Machine::new(model, 42);
+            let deployment = match opt("--deploy").as_deref() {
+                None => Deployment::None,
+                Some("polling") => Deployment::PollingModule(PollConfig::default()),
+                Some("microcode") => Deployment::Microcode {
+                    revision: 0xf5,
+                    margin_mv: 5,
+                },
+                Some("hardware") => Deployment::HardwareMsr { margin_mv: 5 },
+                Some("ocm-disable") => Deployment::OcmDisable,
+                Some(other) => return Err(format!("unknown deployment '{other}'").into()),
+            };
+            if !matches!(deployment, Deployment::None) {
+                let map = load_map(&opt("--map").ok_or("--map required with --deploy")?)?;
+                deploy(&mut machine, &map, deployment.clone())?;
+                eprintln!("deployed {}", deployment.label());
+            }
+            let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
+            println!("{}", serde_json::to_string_pretty(&report)?);
+            if report.success {
+                eprintln!("RESULT: machine compromised");
+            } else {
+                eprintln!("RESULT: attack defeated");
+            }
+            Ok(())
+        }
+        "energy" => {
+            let model = parse_model(&opt("--model").ok_or("--model required")?)?;
+            let map = load_map(&opt("--map").ok_or("--map required")?)?;
+            let rows = energy_ablation(model, &map)?;
+            println!("{}", serde_json::to_string_pretty(&rows)?);
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy> [options]\n\
+                 see the module docs (`cargo doc`) for the full synopsis"
+            );
+            Err("missing or unknown subcommand".into())
+        }
+    }
+}
+
+fn parse_model(s: &str) -> Result<CpuModel, String> {
+    match s.to_ascii_lowercase().replace('_', "-").as_str() {
+        "sky-lake" | "skylake" => Ok(CpuModel::SkyLake),
+        "kaby-lake-r" | "kabylaker" | "kabylake-r" => Ok(CpuModel::KabyLakeR),
+        "comet-lake" | "cometlake" => Ok(CpuModel::CometLake),
+        other => Err(format!(
+            "unknown model '{other}' (sky-lake | kaby-lake-r | comet-lake)"
+        )),
+    }
+}
+
+fn load_map(path: &str) -> Result<CharacterizationMap, Box<dyn std::error::Error>> {
+    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+}

@@ -1,0 +1,18 @@
+//! # plugvolt-bench
+//!
+//! Benchmark and reproduction harness for the *Plug Your Volt*
+//! (DAC 2024) reproduction.
+//!
+//! - [`experiments`] — one runner per table/figure/ablation of the
+//!   paper, shared by the `repro` binary, the integration tests and the
+//!   Criterion benches;
+//! - [`text`] — plain-text table rendering.
+//!
+//! Run `cargo run --release -p plugvolt-bench --bin repro -- all` to
+//! regenerate every table and figure; see `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod text;

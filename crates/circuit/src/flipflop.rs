@@ -1,0 +1,190 @@
+//! Flip-flop timing checks — the paper's Sec. 3 observations O1/O2.
+//!
+//! The paper restricts its safe-state definitions to the most basic
+//! sequential unit, the flip-flop, since flip-flops are the foundation of
+//! all sequential design. [`FlipFlop`] captures the three per-element
+//! parameters (setup, hold, clock-to-Q) and [`launch_capture_check`]
+//! evaluates the full O2 condition for an `F1 → logic → F2` pair.
+
+use crate::delay::{AlphaPowerModel, DelayModel, Millivolts, Picoseconds};
+use crate::path::CriticalPath;
+use crate::timing::{TimingBudget, TimingState};
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of one flip-flop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipFlop {
+    setup_ps: Picoseconds,
+    hold_ps: Picoseconds,
+    clk_to_q: AlphaPowerModel,
+}
+
+impl FlipFlop {
+    /// Creates a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if setup or hold are negative.
+    #[must_use]
+    pub fn new(setup_ps: Picoseconds, hold_ps: Picoseconds, clk_to_q: AlphaPowerModel) -> Self {
+        assert!(
+            setup_ps >= 0.0 && hold_ps >= 0.0,
+            "setup/hold must be non-negative"
+        );
+        FlipFlop {
+            setup_ps,
+            hold_ps,
+            clk_to_q,
+        }
+    }
+
+    /// Setup time: how long D must be stable *before* the clock edge.
+    #[must_use]
+    pub fn setup_ps(&self) -> Picoseconds {
+        self.setup_ps
+    }
+
+    /// Hold time: how long D must be stable *after* the clock edge.
+    #[must_use]
+    pub fn hold_ps(&self) -> Picoseconds {
+        self.hold_ps
+    }
+
+    /// Clock-to-Q delay at supply `v_mv` (`T_src` when launching).
+    #[must_use]
+    pub fn clk_to_q_ps(&self, v_mv: Millivolts) -> Picoseconds {
+        self.clk_to_q.delay_ps(v_mv)
+    }
+
+    /// The clock-to-Q delay model, for building [`CriticalPath`]s.
+    #[must_use]
+    pub fn clk_to_q_model(&self) -> AlphaPowerModel {
+        self.clk_to_q
+    }
+}
+
+/// Outcome of a launch/capture timing check (observation O2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchCaptureReport {
+    /// `T_src + T_prop` at the evaluated voltage.
+    pub path_ps: Picoseconds,
+    /// `T_clk − T_setup − T_ε`.
+    pub available_ps: Picoseconds,
+    /// `available − path`; negative is Eq. 3 (unsafe).
+    pub slack_ps: Picoseconds,
+    /// Classification given the crash margin supplied by the caller.
+    pub state: TimingState,
+}
+
+/// Evaluates whether launch flip-flop `f1` is in a **safe state** with
+/// respect to capture flip-flop `f2`, per the paper's Sec. 3:
+///
+/// the output of `F1`, after `logic`, must be stable no later than
+/// `T_clk − T_ε − T_setup(F2)` in the worst case of early clock arrival.
+///
+/// `logic` must have been built with `f1`'s clock-to-Q model so `T_src`
+/// is accounted exactly once.
+#[must_use]
+pub fn launch_capture_check(
+    f2: &FlipFlop,
+    logic: &CriticalPath,
+    freq_mhz: u32,
+    t_eps_ps: Picoseconds,
+    v_mv: Millivolts,
+    crash_margin_ps: Picoseconds,
+) -> LaunchCaptureReport {
+    let budget = TimingBudget::for_frequency_mhz(freq_mhz, f2.setup_ps(), t_eps_ps);
+    let path_ps = logic.delay_ps(v_mv);
+    let slack_ps = budget.slack_ps(path_ps);
+    LaunchCaptureReport {
+        path_ps,
+        available_ps: budget.available_ps(),
+        slack_ps,
+        state: TimingState::classify(slack_ps, crash_margin_ps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ff() -> FlipFlop {
+        FlipFlop::new(
+            35.0,
+            5.0,
+            AlphaPowerModel::calibrated(40.0, 1_000.0, 320.0, 1.4),
+        )
+    }
+
+    fn logic(stages: usize) -> CriticalPath {
+        let gate = AlphaPowerModel::calibrated(25.0, 1_000.0, 320.0, 1.4);
+        CriticalPath::builder(ff().clk_to_q_model())
+            .logic_stages(gate, stages)
+            .build()
+    }
+
+    #[test]
+    fn nominal_voltage_is_safe() {
+        let r = launch_capture_check(&ff(), &logic(20), 1_000, 15.0, 1_000.0, 150.0);
+        assert_eq!(r.state, TimingState::Safe);
+        assert!(r.slack_ps > 0.0);
+    }
+
+    #[test]
+    fn deep_undervolt_is_unsafe_then_crash() {
+        let l = logic(20);
+        let f2 = ff();
+        // Find the first unsafe voltage by scanning down.
+        let mut unsafe_seen = false;
+        let mut crash_seen = false;
+        let mut prev = TimingState::Safe;
+        for v in (330..=1_000).rev().step_by(5) {
+            let r = launch_capture_check(&f2, &l, 1_000, 15.0, f64::from(v), 150.0);
+            match r.state {
+                TimingState::Safe => {
+                    assert!(!unsafe_seen, "safe after unsafe while undervolting");
+                }
+                TimingState::Unsafe => {
+                    unsafe_seen = true;
+                    assert!(!crash_seen, "unsafe after crash while undervolting");
+                }
+                TimingState::Crash => crash_seen = true,
+            }
+            prev = r.state;
+        }
+        assert!(unsafe_seen, "never entered unsafe region");
+        assert!(crash_seen, "never crashed");
+        assert_eq!(prev, TimingState::Crash);
+    }
+
+    #[test]
+    fn higher_frequency_faults_at_shallower_offset() {
+        // The fault-onset voltage should rise with frequency — the shape
+        // behind Figures 2–4 of the paper.
+        let l = logic(20);
+        let f2 = ff();
+        let onset = |freq: u32| -> f64 {
+            for v in (330..=1_300).rev() {
+                let r = launch_capture_check(&f2, &l, freq, 15.0, f64::from(v), 1e9);
+                if r.state != TimingState::Safe {
+                    return f64::from(v);
+                }
+            }
+            330.0
+        };
+        assert!(onset(2_000) > onset(1_200));
+        assert!(onset(1_200) > onset(800));
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = launch_capture_check(&ff(), &logic(10), 1_500, 15.0, 900.0, 150.0);
+        assert!((r.available_ps - r.path_ps - r.slack_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_setup_rejected() {
+        let _ = FlipFlop::new(-1.0, 0.0, AlphaPowerModel::new(10.0, 300.0, 1.4));
+    }
+}

@@ -1,0 +1,494 @@
+//! Gate-level netlists with functional evaluation and static timing
+//! analysis.
+//!
+//! The analytic models in [`crate::multiplier`] are fast enough for
+//! million-iteration sweeps; this module provides the ground truth they
+//! abstract: real gate networks whose logic values and arrival times can
+//! be evaluated exactly. The built-in generators (ripple-carry adder,
+//! array multiplier) are used in tests to validate that the analytic depth
+//! scaling matches structural reality.
+
+use crate::delay::{DelayModel, Millivolts, Picoseconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a net (wire) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// Logic function of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input XOR.
+    Xor,
+    /// Inverter (second input ignored, must equal the first).
+    Not,
+}
+
+impl GateKind {
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Xor => a ^ b,
+            GateKind::Not => !a,
+        }
+    }
+
+    /// Relative drive weight: how many unit-gate delays this gate costs.
+    fn delay_units(self) -> f64 {
+        match self {
+            GateKind::Not => 0.6,
+            GateKind::And | GateKind::Or => 1.0,
+            GateKind::Xor => 1.6, // XOR is the slow gate in adder chains
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Gate {
+    kind: GateKind,
+    a: NetId,
+    b: NetId,
+    out: NetId,
+}
+
+/// A combinational gate network in topological order.
+///
+/// Gates must be appended in an order where every input is either a
+/// primary input or the output of an earlier gate; [`Netlist::evaluate`]
+/// and [`Netlist::arrival_times`] run in one forward pass.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_circuit::netlist::{GateKind, Netlist};
+///
+/// let mut nl = Netlist::new(2);
+/// let [a, b] = [nl.input(0), nl.input(1)];
+/// let sum = nl.gate(GateKind::Xor, a, b);
+/// let carry = nl.gate(GateKind::And, a, b);
+/// let out = nl.evaluate(&[true, true]);
+/// assert!(!out[sum.0 as usize] && out[carry.0 as usize]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    num_inputs: u32,
+    num_nets: u32,
+    gates: Vec<Gate>,
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} gates, {} nets",
+            self.num_inputs,
+            self.gates.len(),
+            self.num_nets
+        )
+    }
+}
+
+impl Netlist {
+    /// Creates a netlist with `num_inputs` primary inputs.
+    #[must_use]
+    pub fn new(num_inputs: u32) -> Self {
+        Netlist {
+            num_inputs,
+            num_nets: num_inputs,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The net driven by primary input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn input(&self, idx: u32) -> NetId {
+        assert!(idx < self.num_inputs, "input index out of range");
+        NetId(idx)
+    }
+
+    /// Appends a gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input net does not exist yet (topological order
+    /// violation).
+    pub fn gate(&mut self, kind: GateKind, a: NetId, b: NetId) -> NetId {
+        assert!(
+            a.0 < self.num_nets && b.0 < self.num_nets,
+            "gate input not yet driven"
+        );
+        let out = NetId(self.num_nets);
+        self.num_nets += 1;
+        self.gates.push(Gate { kind, a, b, out });
+        out
+    }
+
+    /// Appends an inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Not, a, a)
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets (inputs + gate outputs).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.num_nets as usize
+    }
+
+    /// Evaluates logic values for all nets given primary input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the declared input count.
+    #[must_use]
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs as usize,
+            "input arity mismatch"
+        );
+        let mut values = vec![false; self.num_nets as usize];
+        values[..inputs.len()].copy_from_slice(inputs);
+        for g in &self.gates {
+            values[g.out.0 as usize] = g.kind.eval(values[g.a.0 as usize], values[g.b.0 as usize]);
+        }
+        values
+    }
+
+    /// Static timing analysis: worst-case arrival time of every net at
+    /// supply `v_mv`, with primary inputs arriving at time 0 and each gate
+    /// costing `unit.delay_ps(v) × kind.delay_units()`.
+    #[must_use]
+    pub fn arrival_times(&self, unit: &dyn DelayModel, v_mv: Millivolts) -> Vec<Picoseconds> {
+        let unit_ps = unit.delay_ps(v_mv);
+        let mut arrival = vec![0.0f64; self.num_nets as usize];
+        for g in &self.gates {
+            let inputs_ready = arrival[g.a.0 as usize].max(arrival[g.b.0 as usize]);
+            arrival[g.out.0 as usize] = inputs_ready + unit_ps * g.kind.delay_units();
+        }
+        arrival
+    }
+
+    /// The worst arrival time across the given output nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty or contains an unknown net.
+    #[must_use]
+    pub fn critical_delay_ps(
+        &self,
+        unit: &dyn DelayModel,
+        v_mv: Millivolts,
+        outputs: &[NetId],
+    ) -> Picoseconds {
+        assert!(!outputs.is_empty(), "need at least one output");
+        let arrival = self.arrival_times(unit, v_mv);
+        outputs
+            .iter()
+            .map(|n| arrival[n.0 as usize])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// A generated arithmetic block: the netlist plus its pin map.
+#[derive(Debug, Clone)]
+pub struct ArithBlock {
+    /// The gate network.
+    pub netlist: Netlist,
+    /// Nets carrying operand A, LSB first.
+    pub a: Vec<NetId>,
+    /// Nets carrying operand B, LSB first.
+    pub b: Vec<NetId>,
+    /// Nets carrying the result, LSB first.
+    pub out: Vec<NetId>,
+}
+
+impl ArithBlock {
+    /// Evaluates the block on integer operands, returning the integer
+    /// value on the output pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands do not fit the pin widths.
+    #[must_use]
+    pub fn compute(&self, a: u64, b: u64) -> u64 {
+        assert!(
+            self.a.len() < 64 && a < (1 << self.a.len()),
+            "operand A too wide"
+        );
+        assert!(
+            self.b.len() < 64 && b < (1 << self.b.len()),
+            "operand B too wide"
+        );
+        let mut inputs = vec![false; self.a.len() + self.b.len()];
+        for (i, net) in self.a.iter().enumerate() {
+            inputs[net.0 as usize] = (a >> i) & 1 == 1;
+        }
+        for (i, net) in self.b.iter().enumerate() {
+            inputs[net.0 as usize] = (b >> i) & 1 == 1;
+        }
+        let values = self.netlist.evaluate(&inputs);
+        self.out.iter().enumerate().fold(0u64, |acc, (i, n)| {
+            acc | (u64::from(values[n.0 as usize]) << i)
+        })
+    }
+}
+
+/// Generates an `n`-bit ripple-carry adder (output is `n+1` bits).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or above 31.
+#[must_use]
+pub fn ripple_carry_adder(n: u32) -> ArithBlock {
+    assert!((1..=31).contains(&n), "width out of range");
+    let mut nl = Netlist::new(2 * n);
+    let a: Vec<NetId> = (0..n).map(|i| nl.input(i)).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.input(n + i)).collect();
+    let mut out = Vec::with_capacity(n as usize + 1);
+    let mut carry: Option<NetId> = None;
+    for i in 0..n as usize {
+        let axb = nl.gate(GateKind::Xor, a[i], b[i]);
+        let (sum, cout) = match carry {
+            None => {
+                let cout = nl.gate(GateKind::And, a[i], b[i]);
+                (axb, cout)
+            }
+            Some(c) => {
+                let sum = nl.gate(GateKind::Xor, axb, c);
+                let t1 = nl.gate(GateKind::And, axb, c);
+                let t2 = nl.gate(GateKind::And, a[i], b[i]);
+                let cout = nl.gate(GateKind::Or, t1, t2);
+                (sum, cout)
+            }
+        };
+        out.push(sum);
+        carry = Some(cout);
+    }
+    out.push(carry.expect("n >= 1"));
+    ArithBlock {
+        netlist: nl,
+        a,
+        b,
+        out,
+    }
+}
+
+/// Generates an `n`×`n` unsigned array multiplier (output is `2n` bits).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or above 15.
+#[must_use]
+pub fn array_multiplier(n: u32) -> ArithBlock {
+    assert!((1..=15).contains(&n), "width out of range");
+    let mut nl = Netlist::new(2 * n);
+    let a: Vec<NetId> = (0..n).map(|i| nl.input(i)).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.input(n + i)).collect();
+
+    // Row 0: partial products of b0.
+    let mut row: Vec<NetId> = a
+        .iter()
+        .map(|&ai| nl.gate(GateKind::And, ai, b[0]))
+        .collect();
+    let mut out = Vec::with_capacity(2 * n as usize);
+    out.push(row[0]);
+    let mut acc: Vec<NetId> = row[1..].to_vec();
+
+    for &bj in b.iter().take(n as usize).skip(1) {
+        // Partial products of b_j.
+        row = a.iter().map(|&ai| nl.gate(GateKind::And, ai, bj)).collect();
+        // Add row into acc with a ripple of full adders.
+        let mut next_acc = Vec::with_capacity(n as usize);
+        let mut carry: Option<NetId> = None;
+        for (i, &pp) in row.iter().enumerate() {
+            let other = acc.get(i).copied();
+            let (sum, cout) = match (other, carry) {
+                (None, None) => (pp, None),
+                (Some(x), None) | (None, Some(x)) => {
+                    let s = nl.gate(GateKind::Xor, pp, x);
+                    let c = nl.gate(GateKind::And, pp, x);
+                    (s, Some(c))
+                }
+                (Some(x), Some(c)) => {
+                    let axb = nl.gate(GateKind::Xor, pp, x);
+                    let s = nl.gate(GateKind::Xor, axb, c);
+                    let t1 = nl.gate(GateKind::And, axb, c);
+                    let t2 = nl.gate(GateKind::And, pp, x);
+                    let co = nl.gate(GateKind::Or, t1, t2);
+                    (s, Some(co))
+                }
+            };
+            next_acc.push(sum);
+            carry = cout;
+        }
+        // Propagate carry into any remaining acc bits.
+        for &acc_bit in acc.iter().skip(row.len()) {
+            match carry {
+                Some(c) => {
+                    let s = nl.gate(GateKind::Xor, acc_bit, c);
+                    let co = nl.gate(GateKind::And, acc_bit, c);
+                    next_acc.push(s);
+                    carry = Some(co);
+                }
+                None => next_acc.push(acc_bit),
+            }
+        }
+        if let Some(c) = carry {
+            next_acc.push(c);
+        }
+        out.push(next_acc[0]);
+        acc = next_acc[1..].to_vec();
+    }
+    out.extend(acc);
+    out.truncate(2 * n as usize);
+    while out.len() < 2 * n as usize {
+        // Pad with constant-zero nets if the structure came up short:
+        // cannot happen structurally, but keep the pin map total.
+        let zero = nl.gate(GateKind::Xor, a[0], a[0]);
+        out.push(zero);
+    }
+    ArithBlock {
+        netlist: nl,
+        a,
+        b,
+        out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{AlphaPowerModel, ConstantDelay};
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut nl = Netlist::new(2);
+        let (a, b) = (nl.input(0), nl.input(1));
+        let sum = nl.gate(GateKind::Xor, a, b);
+        let carry = nl.gate(GateKind::And, a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = nl.evaluate(&[va, vb]);
+            assert_eq!(out[sum.0 as usize], va ^ vb);
+            assert_eq!(out[carry.0 as usize], va & vb);
+        }
+    }
+
+    #[test]
+    fn inverter_ignores_second_pin() {
+        let mut nl = Netlist::new(1);
+        let a = nl.input(0);
+        let na = nl.not(a);
+        assert!(nl.evaluate(&[false])[na.0 as usize]);
+        assert!(!nl.evaluate(&[true])[na.0 as usize]);
+    }
+
+    #[test]
+    fn adder_matches_integer_addition() {
+        let add = ripple_carry_adder(8);
+        for (x, y) in [(0u64, 0u64), (1, 1), (255, 255), (200, 100), (37, 93)] {
+            assert_eq!(add.compute(x, y), x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let add = ripple_carry_adder(4);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(add.compute(x, y), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_integer_multiplication() {
+        let mul = array_multiplier(6);
+        for (x, y) in [(0u64, 0u64), (1, 63), (63, 63), (42, 17), (9, 31)] {
+            assert_eq!(mul.compute(x, y), x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_4bit() {
+        let mul = array_multiplier(4);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(mul.compute(x, y), x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn adder_critical_delay_grows_with_width() {
+        let unit = ConstantDelay(10.0);
+        let d4 = {
+            let a = ripple_carry_adder(4);
+            a.netlist.critical_delay_ps(&unit, 1_000.0, &a.out)
+        };
+        let d16 = {
+            let a = ripple_carry_adder(16);
+            a.netlist.critical_delay_ps(&unit, 1_000.0, &a.out)
+        };
+        assert!(d16 > 2.0 * d4, "d4={d4} d16={d16}");
+    }
+
+    #[test]
+    fn multiplier_deeper_than_adder() {
+        let unit = ConstantDelay(10.0);
+        let add = ripple_carry_adder(8);
+        let mul = array_multiplier(8);
+        let da = add.netlist.critical_delay_ps(&unit, 1_000.0, &add.out);
+        let dm = mul.netlist.critical_delay_ps(&unit, 1_000.0, &mul.out);
+        assert!(dm > da);
+    }
+
+    #[test]
+    fn undervolting_stretches_sta() {
+        let unit = AlphaPowerModel::calibrated(10.0, 1_000.0, 320.0, 1.4);
+        let mul = array_multiplier(8);
+        let nominal = mul.netlist.critical_delay_ps(&unit, 1_000.0, &mul.out);
+        let under = mul.netlist.critical_delay_ps(&unit, 800.0, &mul.out);
+        assert!(under > nominal);
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_paths() {
+        let mut nl = Netlist::new(2);
+        let (a, b) = (nl.input(0), nl.input(1));
+        let g1 = nl.gate(GateKind::And, a, b);
+        let g2 = nl.gate(GateKind::Or, g1, b);
+        let times = nl.arrival_times(&ConstantDelay(5.0), 1_000.0);
+        assert!(times[g2.0 as usize] > times[g1.0 as usize]);
+        assert_eq!(times[a.0 as usize], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet driven")]
+    fn topological_violation_panics() {
+        let mut nl = Netlist::new(1);
+        let _ = nl.gate(GateKind::And, NetId(5), NetId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn evaluate_checks_arity() {
+        let nl = Netlist::new(2);
+        let _ = nl.evaluate(&[true]);
+    }
+}

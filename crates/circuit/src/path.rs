@@ -1,0 +1,229 @@
+//! Critical data paths: launch flip-flop plus combinational stages.
+//!
+//! The paper reasons about a launch flip-flop `F1` (contributing `T_src`),
+//! a chain of combinational logic (contributing `T_prop`) and a capture
+//! flip-flop `F2` (contributing `T_setup`, accounted in
+//! [`crate::timing::TimingBudget`]). A [`CriticalPath`] is that structural
+//! chain with voltage-dependent delays.
+
+use crate::delay::{AlphaPowerModel, ConstantDelay, DelayModel, Millivolts, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// One stage of a critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stage {
+    /// A voltage-sensitive logic stage.
+    Logic(AlphaPowerModel),
+    /// A voltage-insensitive fixed delay (wires, clock insertion).
+    Fixed(ConstantDelay),
+}
+
+impl Stage {
+    fn delay_ps(&self, v_mv: Millivolts) -> Picoseconds {
+        match self {
+            Stage::Logic(m) => m.delay_ps(v_mv),
+            Stage::Fixed(c) => c.delay_ps(v_mv),
+        }
+    }
+}
+
+/// A launch flip-flop plus combinational stages: the `T_src + T_prop` side
+/// of Eq. 1.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_circuit::delay::AlphaPowerModel;
+/// use plugvolt_circuit::path::CriticalPath;
+///
+/// let gate = AlphaPowerModel::calibrated(25.0, 1_000.0, 320.0, 1.4);
+/// let path = CriticalPath::builder(gate)
+///     .logic_stages(gate, 12)
+///     .fixed_ps(30.0)
+///     .build();
+/// // 1 clk→Q + 12 gates + wires:
+/// assert!(path.delay_ps(1_000.0) > 13.0 * 25.0);
+/// // Undervolting stretches it:
+/// assert!(path.delay_ps(900.0) > path.delay_ps(1_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    clk_to_q: AlphaPowerModel,
+    stages: Vec<Stage>,
+}
+
+impl CriticalPath {
+    /// Starts building a path launched by a flip-flop with the given
+    /// clock-to-Q model (`T_src`).
+    #[must_use]
+    pub fn builder(clk_to_q: AlphaPowerModel) -> CriticalPathBuilder {
+        CriticalPathBuilder {
+            clk_to_q,
+            stages: Vec::new(),
+        }
+    }
+
+    /// `T_src` at supply `v_mv`: the launch flip-flop's clock-to-Q delay.
+    #[must_use]
+    pub fn t_src_ps(&self, v_mv: Millivolts) -> Picoseconds {
+        self.clk_to_q.delay_ps(v_mv)
+    }
+
+    /// `T_prop` at supply `v_mv`: the combinational stages' total delay.
+    #[must_use]
+    pub fn t_prop_ps(&self, v_mv: Millivolts) -> Picoseconds {
+        self.stages.iter().map(|s| s.delay_ps(v_mv)).sum()
+    }
+
+    /// Total path delay `T_src + T_prop` at supply `v_mv`.
+    #[must_use]
+    pub fn delay_ps(&self, v_mv: Millivolts) -> Picoseconds {
+        self.t_src_ps(v_mv) + self.t_prop_ps(v_mv)
+    }
+
+    /// Number of combinational stages (excluding the launch flip-flop).
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Lowest supply voltage (within `[lo_mv, hi_mv]`) at which the path
+    /// still meets `budget_ps`, found by bisection on the monotone delay.
+    /// Returns `None` if it fails even at `hi_mv`.
+    #[must_use]
+    pub fn min_safe_voltage_mv(
+        &self,
+        budget_ps: Picoseconds,
+        lo_mv: Millivolts,
+        hi_mv: Millivolts,
+    ) -> Option<Millivolts> {
+        if self.delay_ps(hi_mv) > budget_ps {
+            return None;
+        }
+        if self.delay_ps(lo_mv) <= budget_ps {
+            return Some(lo_mv);
+        }
+        let (mut lo, mut hi) = (lo_mv, hi_mv);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.delay_ps(mid) > budget_ps {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+/// Builder for [`CriticalPath`].
+#[derive(Debug, Clone)]
+pub struct CriticalPathBuilder {
+    clk_to_q: AlphaPowerModel,
+    stages: Vec<Stage>,
+}
+
+impl CriticalPathBuilder {
+    /// Appends one voltage-sensitive logic stage.
+    #[must_use]
+    pub fn logic(mut self, model: AlphaPowerModel) -> Self {
+        self.stages.push(Stage::Logic(model));
+        self
+    }
+
+    /// Appends `count` identical logic stages.
+    #[must_use]
+    pub fn logic_stages(mut self, model: AlphaPowerModel, count: usize) -> Self {
+        self.stages
+            .extend(std::iter::repeat_n(Stage::Logic(model), count));
+        self
+    }
+
+    /// Appends a fixed (voltage-insensitive) delay.
+    #[must_use]
+    pub fn fixed_ps(mut self, ps: Picoseconds) -> Self {
+        self.stages.push(Stage::Fixed(ConstantDelay(ps)));
+        self
+    }
+
+    /// Finishes the path.
+    #[must_use]
+    pub fn build(self) -> CriticalPath {
+        CriticalPath {
+            clk_to_q: self.clk_to_q,
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingBudget;
+
+    fn gate() -> AlphaPowerModel {
+        AlphaPowerModel::calibrated(25.0, 1_000.0, 320.0, 1.4)
+    }
+
+    fn path(n: usize) -> CriticalPath {
+        CriticalPath::builder(gate())
+            .logic_stages(gate(), n)
+            .build()
+    }
+
+    #[test]
+    fn delay_sums_stages() {
+        let p = path(9);
+        // clk→Q plus 9 stages, each 25 ps at 1 V.
+        assert!((p.delay_ps(1_000.0) - 250.0).abs() < 1e-9);
+        assert_eq!(p.stage_count(), 9);
+    }
+
+    #[test]
+    fn fixed_stage_does_not_scale() {
+        let p = CriticalPath::builder(gate()).fixed_ps(100.0).build();
+        let d_hi = p.delay_ps(1_200.0);
+        let d_lo = p.delay_ps(700.0);
+        // Only the clk→Q part scales.
+        assert!((d_lo - d_hi) < gate().delay_ps(700.0));
+        assert!(d_lo > d_hi);
+    }
+
+    #[test]
+    fn t_src_and_t_prop_decompose() {
+        let p = path(4);
+        let v = 950.0;
+        assert!((p.t_src_ps(v) + p.t_prop_ps(v) - p.delay_ps(v)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_safe_voltage_is_consistent() {
+        let p = path(20);
+        let budget = TimingBudget::for_frequency_mhz(1_500, 35.0, 15.0);
+        let v = p
+            .min_safe_voltage_mv(budget.available_ps(), 400.0, 1_300.0)
+            .expect("meets timing at 1.3 V");
+        // Just above: safe. Just below: unsafe.
+        assert!(budget.is_safe(p.delay_ps(v + 1.0)));
+        assert!(!budget.is_safe(p.delay_ps(v - 1.0)));
+    }
+
+    #[test]
+    fn min_safe_voltage_none_when_impossible() {
+        let p = path(500); // absurdly deep path
+        let budget = TimingBudget::for_frequency_mhz(4_000, 35.0, 15.0);
+        assert!(p
+            .min_safe_voltage_mv(budget.available_ps(), 400.0, 1_300.0)
+            .is_none());
+    }
+
+    #[test]
+    fn min_safe_voltage_lo_bound_when_always_safe() {
+        let p = path(1);
+        let budget = TimingBudget::for_frequency_mhz(100, 35.0, 15.0);
+        assert_eq!(
+            p.min_safe_voltage_mv(budget.available_ps(), 500.0, 1_300.0),
+            Some(500.0)
+        );
+    }
+}

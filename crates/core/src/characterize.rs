@@ -1,0 +1,493 @@
+//! Step S1: empirical characterization of unsafe system states.
+//!
+//! A faithful implementation of the paper's two-thread framework
+//! (Sec. 4.2, Algorithms 1 and 2):
+//!
+//! - the **DVFS thread** walks the cartesian product of core frequencies
+//!   (0.1 GHz resolution via `cpupower`) and negative voltage offsets
+//!   (written to MSR 0x150 through the userspace msr device, using the
+//!   Algorithm 1 encoding);
+//! - the **EXECUTE thread** runs a tight loop of one million `imul`
+//!   iterations with varying 64-bit operands and reports incorrect
+//!   products.
+//!
+//! Any pair observing faults joins the unsafe set; sweeping deeper at a
+//! fixed frequency eventually crashes the machine, bounding the band
+//! (the paper characterizes the unsafe width "until we observe a system
+//! crash").
+
+use crate::charmap::{CharacterizationMap, FreqBand};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_cpu::package::PackageError;
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_kernel::cpupower::CpuPower;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_kernel::msr_dev::MsrDev;
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the characterization sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Shallowest offset tested (mV, negative). Paper: −1.
+    pub offset_start_mv: i32,
+    /// Deepest offset tested (mV, negative). Paper: −300.
+    pub offset_floor_mv: i32,
+    /// Offset resolution in mV. Paper: 1.
+    pub offset_step_mv: i32,
+    /// Frequency resolution in MHz. Paper: 100 (0.1 GHz).
+    pub freq_step_mhz: u32,
+    /// EXECUTE-thread loop length. Paper: one million.
+    pub imul_iters: u64,
+    /// The core the EXECUTE thread is pinned to.
+    pub execute_core: CoreId,
+    /// Stop sweeping deeper at a frequency once it crashed (the paper
+    /// stops a frequency's characterization at the crash).
+    pub stop_after_crash: bool,
+}
+
+impl Default for SweepConfig {
+    /// The paper's parameters: offsets −1…−300 mV at 1 mV, frequencies at
+    /// 0.1 GHz resolution, one million `imul` iterations per point.
+    fn default() -> Self {
+        SweepConfig {
+            offset_start_mv: -1,
+            offset_floor_mv: -300,
+            offset_step_mv: 1,
+            freq_step_mhz: 100,
+            imul_iters: 1_000_000,
+            execute_core: CoreId(0),
+            stop_after_crash: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A coarse sweep for tests: 5 mV / 500 MHz resolution.
+    #[must_use]
+    pub fn coarse() -> Self {
+        SweepConfig {
+            offset_step_mv: 5,
+            freq_step_mhz: 500,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// One grid point of the sweep (a row of the Figures 2–4 raw data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Tested frequency.
+    pub freq: FreqMhz,
+    /// Tested offset.
+    pub offset_mv: i32,
+    /// Faulted `imul` iterations (0 for a safe point).
+    pub faults: u64,
+    /// Whether the machine crashed at this point.
+    pub crashed: bool,
+}
+
+/// The result of a full characterization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationRun {
+    /// The safe/unsafe map distilled from the sweep.
+    pub map: CharacterizationMap,
+    /// Raw per-point records (the figure data).
+    pub records: Vec<SweepRecord>,
+    /// Number of machine crashes (and resets) incurred.
+    pub crashes: u32,
+    /// Simulated wall-clock time the sweep took.
+    pub duration: SimDuration,
+}
+
+/// Runs the paper's Algorithm 2 on a machine, returning the
+/// characterization (the machine is left reset to nominal state).
+///
+/// # Errors
+///
+/// Propagates machine errors other than the expected sweep-induced
+/// crashes (which are handled by resetting, as on the real bench).
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (non-negative offsets, zero steps).
+pub fn characterize(
+    machine: &mut Machine,
+    cfg: &SweepConfig,
+) -> Result<CharacterizationRun, MachineError> {
+    assert!(cfg.offset_start_mv < 0 && cfg.offset_floor_mv <= cfg.offset_start_mv);
+    assert!(cfg.offset_step_mv > 0 && cfg.freq_step_mhz > 0);
+    assert!(cfg.imul_iters > 0);
+
+    let started = machine.now();
+    let mut cpupower = CpuPower::new(machine);
+    let dev = MsrDev::open(machine, cfg.execute_core)?;
+    let spec = machine.cpu().spec().clone();
+
+    // Algorithm 2 lines 6–7: measure the normal frequency and offset so
+    // each iteration can restore them.
+    let original_freq = machine.cpu().core_freq(cfg.execute_core)?;
+    let original_offset_mv = machine.cpu().core_offset_mv();
+
+    let mut map = CharacterizationMap::new(spec.name, spec.microcode, cfg.offset_floor_mv);
+    let mut records = Vec::new();
+    let mut crashes = 0u32;
+
+    let mut freqs: Vec<FreqMhz> = spec
+        .freq_table
+        .iter()
+        .filter(|f| (f.mhz() - spec.freq_table.min().mhz()).is_multiple_of(cfg.freq_step_mhz))
+        .collect();
+    // The table maximum is the most restrictive point of the spectrum
+    // (shallowest unsafe band); a sweep must never skip it, whatever the
+    // stride.
+    if freqs.last() != Some(&spec.freq_table.max()) {
+        freqs.push(spec.freq_table.max());
+    }
+
+    for &freq in &freqs {
+        // All cores to the test frequency: the core-plane rail follows
+        // the *maximum* demand across cores, so pinning only the victim
+        // core would characterize a higher rail voltage than a machine
+        // whose other cores idle low actually sees (per-core states are
+        // then always at least as safe as this all-core worst case).
+        cpupower.frequency_set_all(machine, freq)?;
+        settle(machine);
+        let mut band = FreqBand::default();
+        let mut offset = cfg.offset_start_mv;
+        while offset >= cfg.offset_floor_mv {
+            match test_point(machine, &dev, cfg, freq, offset) {
+                Ok(faults) => {
+                    records.push(SweepRecord {
+                        freq,
+                        offset_mv: offset,
+                        faults,
+                        crashed: false,
+                    });
+                    if faults > 0 && band.fault_onset_mv.is_none() {
+                        // The true onset lies somewhere in the last
+                        // untested step; record the conservative
+                        // (shallower) end so a coarse sweep never
+                        // under-protects. At the paper's 1 mV resolution
+                        // this is exact.
+                        band.fault_onset_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
+                    }
+                }
+                Err(MachineError::Package(PackageError::Crashed)) => {
+                    records.push(SweepRecord {
+                        freq,
+                        offset_mv: offset,
+                        faults: 0,
+                        crashed: true,
+                    });
+                    if band.crash_mv.is_none() {
+                        band.crash_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
+                    }
+                    crashes += 1;
+                    let now = machine.now();
+                    machine.cpu_mut().reset(now);
+                    settle(machine);
+                    cpupower.frequency_set_all(machine, freq)?;
+                    settle(machine);
+                    if cfg.stop_after_crash {
+                        break;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            offset -= cfg.offset_step_mv;
+        }
+        map.insert_band(freq, band);
+    }
+
+    // Restore the original operating point (Algorithm 2 lines 13–14).
+    cpupower.frequency_set_all(machine, original_freq)?;
+    let restore = OcRequest::write_offset(original_offset_mv, Plane::Core).encode();
+    dev.write(machine, Msr::OC_MAILBOX, restore)?;
+    settle(machine);
+
+    Ok(CharacterizationRun {
+        map,
+        records,
+        crashes,
+        duration: machine.now().saturating_duration_since(started),
+    })
+}
+
+/// Tests one (frequency, offset) grid point: write the offset through
+/// the mailbox, wait for the rail, run the EXECUTE thread, restore.
+fn test_point(
+    machine: &mut Machine,
+    dev: &MsrDev,
+    cfg: &SweepConfig,
+    _freq: FreqMhz,
+    offset_mv: i32,
+) -> Result<u64, MachineError> {
+    let req = OcRequest::write_offset(offset_mv, Plane::Core).encode();
+    dev.write(machine, Msr::OC_MAILBOX, req)?;
+    settle(machine);
+
+    // EXECUTE thread: one million imuls with varying operands. It runs
+    // in parallel with (and unblocked by) the DVFS thread; its wall time
+    // advances the machine clock.
+    let core = cfg.execute_core;
+    let now = machine.now();
+    let faults_result = machine.cpu_mut().run_imul_loop(now, core, cfg.imul_iters);
+    let freq_now = machine.cpu().core_freq(core).unwrap_or(FreqMhz(1_000));
+    machine.advance(SimDuration::from_cycles(cfg.imul_iters, freq_now.mhz()));
+    let faults = faults_result.map_err(MachineError::from)?;
+
+    // Restore the offset before the next grid point.
+    let restore = OcRequest::write_offset(0, Plane::Core).encode();
+    dev.write(machine, Msr::OC_MAILBOX, restore)?;
+    settle(machine);
+    Ok(faults)
+}
+
+fn settle(machine: &mut Machine) {
+    let t = machine.cpu().rail_settles_at() + SimDuration::from_micros(1);
+    if t > machine.now() {
+        machine.advance_to(t);
+    }
+}
+
+/// Convenience: the target the rail must reach before measuring.
+#[must_use]
+pub fn rail_settled_time(machine: &Machine) -> SimTime {
+    machine.cpu().rail_settles_at() + SimDuration::from_micros(1)
+}
+
+/// One row of the instruction-class fault survey.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyRow {
+    /// The instruction class.
+    pub class: plugvolt_cpu::exec::InstrClass,
+    /// Shallowest offset at which the class faults at `freq` (mV), if
+    /// it faults within the sweep at all.
+    pub fault_onset_mv: Option<i32>,
+}
+
+/// Surveys which instruction classes fault first under undervolting at
+/// a fixed frequency — the analysis behind the paper's (and Minefield's
+/// \[15\]) choice of `imul` for the EXECUTE thread: the deepest datapath
+/// leaves the safe region at the shallowest offset.
+///
+/// # Errors
+///
+/// Propagates machine errors (sweep-induced crashes are handled).
+pub fn instruction_survey(
+    machine: &mut Machine,
+    freq: FreqMhz,
+    iters: u64,
+) -> Result<Vec<SurveyRow>, MachineError> {
+    use plugvolt_cpu::exec::InstrClass;
+    let mut cpupower = CpuPower::new(machine);
+    let dev = MsrDev::open(machine, CoreId(0))?;
+    let mut rows = Vec::new();
+    for class in InstrClass::ALL {
+        cpupower.frequency_set_all(machine, freq)?;
+        settle(machine);
+        let mut onset = None;
+        let mut offset = -1;
+        while offset >= -400 {
+            let req = OcRequest::write_offset(offset, Plane::Core).encode();
+            // The cache plane must follow for Load to be comparable.
+            let req_cache = OcRequest::write_offset(offset, Plane::Cache).encode();
+            dev.write(machine, Msr::OC_MAILBOX, req)?;
+            dev.write(machine, Msr::OC_MAILBOX, req_cache)?;
+            settle(machine);
+            let now = machine.now();
+            match machine.cpu_mut().run_batch(now, CoreId(0), class, iters) {
+                Ok(faults) if faults > 0 => {
+                    onset = Some(offset);
+                    break;
+                }
+                Ok(_) => {}
+                Err(PackageError::Crashed) => {
+                    let now = machine.now();
+                    machine.cpu_mut().reset(now);
+                    settle(machine);
+                    break;
+                }
+                Err(e) => return Err(MachineError::Package(e)),
+            }
+            offset -= 2;
+        }
+        // Clean up between classes.
+        for plane in [Plane::Core, Plane::Cache] {
+            let restore = OcRequest::write_offset(0, plane).encode();
+            dev.write(machine, Msr::OC_MAILBOX, restore)?;
+        }
+        settle(machine);
+        rows.push(SurveyRow {
+            class,
+            fault_onset_mv: onset,
+        });
+    }
+    Ok(rows)
+}
+
+/// An *analytic oracle* map computed straight from a model's physics,
+/// without running the empirical sweep — useful for benches and tests
+/// where the sweep's cost is not the subject. The paper's pipeline is
+/// the empirical [`characterize`]; this function exists because the
+/// simulator, unlike silicon, lets us query the ground truth.
+#[must_use]
+pub fn analytic_map(spec: &plugvolt_cpu::model::CpuSpec) -> CharacterizationMap {
+    use plugvolt_circuit::timing::{TimingBudget, TimingState};
+    let mul = spec.multiplier();
+    let fm = spec.fault_model();
+    let mut map = CharacterizationMap::new(spec.name, spec.microcode, -300);
+    for f in spec.freq_table.iter() {
+        let budget = TimingBudget::for_frequency_mhz(f.mhz(), spec.t_setup_ps, spec.t_eps_ps);
+        let nominal = spec.nominal_voltage_mv(f);
+        let mut band = FreqBand::default();
+        for off in 1..=300 {
+            let v = nominal - f64::from(off);
+            if v < spec.absolute_min_voltage_mv() {
+                band.crash_mv.get_or_insert(-off);
+                break;
+            }
+            let slack = budget.slack_ps(mul.worst_path_delay_ps(v));
+            // Onset where a million-iteration loop would observably fault.
+            if band.fault_onset_mv.is_none() && fm.fault_probability(slack) * 1e6 >= 1.0 {
+                band.fault_onset_mv = Some(-off);
+            }
+            if fm.classify(slack) == TimingState::Crash {
+                band.crash_mv = Some(-off);
+                break;
+            }
+        }
+        map.insert_band(f, band);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateClass;
+    use plugvolt_cpu::model::CpuModel;
+
+    fn coarse_run(model: CpuModel) -> CharacterizationRun {
+        let mut machine = Machine::new(model, 21);
+        characterize(&mut machine, &SweepConfig::coarse()).expect("sweep completes")
+    }
+
+    #[test]
+    fn sweep_finds_unsafe_bands_on_comet_lake() {
+        let run = coarse_run(CpuModel::CometLake);
+        assert!(!run.map.is_empty());
+        // At least half the characterized frequencies show a fault onset
+        // within the −300 mV sweep.
+        let with_onset = run
+            .map
+            .iter()
+            .filter(|(_, b)| b.fault_onset_mv.is_some())
+            .count();
+        assert!(with_onset * 2 >= run.map.len(), "onsets={with_onset}");
+        assert!(run.crashes > 0, "sweep should hit crashes");
+        assert!(!run.records.is_empty());
+    }
+
+    #[test]
+    fn onset_offsets_shrink_with_frequency() {
+        // The headline shape of Figures 2–4.
+        let run = coarse_run(CpuModel::CometLake);
+        let onsets: Vec<(u32, i32)> = run
+            .map
+            .iter()
+            .filter_map(|(f, b)| b.fault_onset_mv.map(|o| (f.mhz(), o)))
+            .collect();
+        assert!(onsets.len() >= 3);
+        let first = onsets.iter().min_by_key(|(f, _)| *f).unwrap();
+        let last = onsets.iter().max_by_key(|(f, _)| *f).unwrap();
+        assert!(
+            last.1 > first.1 + 30,
+            "onset at {} MHz = {} vs {} MHz = {}",
+            first.0,
+            first.1,
+            last.0,
+            last.1
+        );
+    }
+
+    #[test]
+    fn faults_precede_crash_in_each_band() {
+        let run = coarse_run(CpuModel::SkyLake);
+        for (f, band) in run.map.iter() {
+            if let (Some(onset), Some(crash)) = (band.fault_onset_mv, band.crash_mv) {
+                assert!(onset > crash, "{f}: onset {onset} not above crash {crash}");
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_state_classifies_safe_after_sweep() {
+        let run = coarse_run(CpuModel::KabyLakeR);
+        let spec = CpuModel::KabyLakeR.spec();
+        for f in spec.freq_table.iter().step_by(8) {
+            assert_eq!(run.map.classify(f, 0), StateClass::Safe, "{f}");
+            assert_eq!(run.map.classify(f, -10), StateClass::Safe, "{f}");
+        }
+    }
+
+    #[test]
+    fn machine_is_restored_after_sweep() {
+        let mut machine = Machine::new(CpuModel::CometLake, 21);
+        let _ = characterize(&mut machine, &SweepConfig::coarse()).unwrap();
+        assert!(!machine.cpu().is_crashed());
+        assert_eq!(machine.cpu().core_offset_mv(), 0);
+        let now = machine.now();
+        let faults = machine
+            .cpu_mut()
+            .run_imul_loop(now, CoreId(0), 100_000)
+            .unwrap();
+        assert_eq!(faults, 0, "machine must be healthy post-sweep");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = coarse_run(CpuModel::SkyLake);
+        let b = coarse_run(CpuModel::SkyLake);
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn survey_ranks_imul_most_faultable() {
+        use plugvolt_cpu::exec::InstrClass;
+        let mut machine = Machine::new(CpuModel::CometLake, 23);
+        let rows = instruction_survey(&mut machine, FreqMhz(4_000), 1_000_000).unwrap();
+        assert_eq!(rows.len(), InstrClass::ALL.len());
+        let onset = |c: InstrClass| {
+            rows.iter()
+                .find(|r| r.class == c)
+                .and_then(|r| r.fault_onset_mv)
+        };
+        let imul = onset(InstrClass::Imul).expect("imul faults in sweep");
+        // imul leaves the safe region at the shallowest offset of all
+        // classes that fault at all — the paper's stated reason for
+        // using it in the EXECUTE thread.
+        for class in InstrClass::ALL {
+            if let Some(o) = onset(class) {
+                assert!(imul >= o, "{class:?} at {o} shallower than imul {imul}");
+            }
+        }
+        // And the shallow ALU class needs substantially deeper offsets
+        // (or never faults before crash).
+        if let Some(alu) = onset(InstrClass::AluAdd) {
+            assert!(imul - alu > 20, "imul {imul} vs alu {alu}");
+        }
+    }
+
+    #[test]
+    fn maximal_safe_state_exists_and_is_negative() {
+        let run = coarse_run(CpuModel::CometLake);
+        let mss = run.map.maximal_safe_offset_mv(5).expect("characterized");
+        assert!(mss < 0, "mss={mss}");
+        assert!(mss > -300, "mss={mss}");
+    }
+}

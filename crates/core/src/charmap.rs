@@ -1,0 +1,331 @@
+//! The characterization map: per-frequency unsafe bands.
+//!
+//! The artifact produced by step **S1** (Sec. 4.2) and consumed by step
+//! **S2** (the polling countermeasure): for every characterized frequency,
+//! the first undervolt offset at which faults manifest and the offset at
+//! which the machine crashes. Everything is conservative by construction —
+//! uncharacterized depths and frequencies classify as unsafe.
+
+use crate::state::StateClass;
+use plugvolt_cpu::freq::FreqMhz;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The unsafe band observed at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FreqBand {
+    /// Shallowest offset (mV, negative) where faults were observed, if
+    /// any fault occurred within the sweep.
+    pub fault_onset_mv: Option<i32>,
+    /// Shallowest offset (mV, negative) where the machine crashed, if it
+    /// crashed within the sweep.
+    pub crash_mv: Option<i32>,
+}
+
+/// The safe/unsafe characterization of one machine (Figures 2–4).
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt::charmap::{CharacterizationMap, FreqBand};
+/// use plugvolt::state::StateClass;
+/// use plugvolt_cpu::freq::FreqMhz;
+///
+/// let mut map = CharacterizationMap::new("demo", 0xf0, -300);
+/// map.insert_band(FreqMhz(2_000), FreqBand {
+///     fault_onset_mv: Some(-180),
+///     crash_mv: Some(-210),
+/// });
+/// assert_eq!(map.classify(FreqMhz(2_000), -100), StateClass::Safe);
+/// assert_eq!(map.classify(FreqMhz(2_000), -180), StateClass::Unsafe);
+/// assert_eq!(map.classify(FreqMhz(2_000), -250), StateClass::Crash);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharacterizationMap {
+    cpu_name: String,
+    microcode: u32,
+    /// Deepest offset the sweep covered (mV, negative). Depths below are
+    /// uncharacterized and classify as unsafe.
+    sweep_floor_mv: i32,
+    bands: BTreeMap<u32, FreqBand>,
+}
+
+impl CharacterizationMap {
+    /// Creates an empty map for a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sweep_floor_mv` is not negative.
+    #[must_use]
+    pub fn new(cpu_name: impl Into<String>, microcode: u32, sweep_floor_mv: i32) -> Self {
+        assert!(sweep_floor_mv < 0, "sweep floor must be a negative offset");
+        CharacterizationMap {
+            cpu_name: cpu_name.into(),
+            microcode,
+            sweep_floor_mv,
+            bands: BTreeMap::new(),
+        }
+    }
+
+    /// The characterized machine's name.
+    #[must_use]
+    pub fn cpu_name(&self) -> &str {
+        &self.cpu_name
+    }
+
+    /// The microcode revision the characterization was taken under.
+    #[must_use]
+    pub fn microcode(&self) -> u32 {
+        self.microcode
+    }
+
+    /// The deepest swept offset.
+    #[must_use]
+    pub fn sweep_floor_mv(&self) -> i32 {
+        self.sweep_floor_mv
+    }
+
+    /// Records the band observed at `freq` (replacing any previous one).
+    pub fn insert_band(&mut self, freq: FreqMhz, band: FreqBand) {
+        self.bands.insert(freq.mhz(), band);
+    }
+
+    /// The band characterized at exactly `freq`, if any.
+    #[must_use]
+    pub fn band(&self, freq: FreqMhz) -> Option<FreqBand> {
+        self.bands.get(&freq.mhz()).copied()
+    }
+
+    /// Number of characterized frequencies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Whether no frequency has been characterized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bands.is_empty()
+    }
+
+    /// Iterates `(frequency, band)` ascending by frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (FreqMhz, FreqBand)> + '_ {
+        self.bands.iter().map(|(&f, &b)| (FreqMhz(f), b))
+    }
+
+    /// The band governing `freq`: the exact entry if characterized,
+    /// otherwise the **more conservative** (shallower-onset) of the two
+    /// neighbouring entries, so interpolation can never under-protect.
+    #[must_use]
+    pub fn governing_band(&self, freq: FreqMhz) -> Option<FreqBand> {
+        if let Some(b) = self.band(freq) {
+            return Some(b);
+        }
+        let below = self.bands.range(..freq.mhz()).next_back().map(|(_, &b)| b);
+        let above = self.bands.range(freq.mhz()..).next().map(|(_, &b)| b);
+        match (below, above) {
+            (Some(a), Some(b)) => Some(FreqBand {
+                fault_onset_mv: shallower(a.fault_onset_mv, b.fault_onset_mv),
+                crash_mv: shallower(a.crash_mv, b.crash_mv),
+            }),
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (None, None) => None,
+        }
+    }
+
+    /// Classifies an observed state per the characterization.
+    ///
+    /// Conservative rules:
+    /// - non-negative offsets are safe (the attack surface is undervolt);
+    /// - offsets below the sweep floor are unsafe (uncharacterized);
+    /// - with no characterization data at all, any undervolt is unsafe.
+    #[must_use]
+    pub fn classify(&self, freq: FreqMhz, offset_mv: i32) -> StateClass {
+        if offset_mv >= 0 {
+            return StateClass::Safe;
+        }
+        let Some(band) = self.governing_band(freq) else {
+            return StateClass::Unsafe;
+        };
+        if let Some(crash) = band.crash_mv {
+            if offset_mv <= crash {
+                return StateClass::Crash;
+            }
+        }
+        if let Some(onset) = band.fault_onset_mv {
+            if offset_mv <= onset {
+                return StateClass::Unsafe;
+            }
+        }
+        if offset_mv < self.sweep_floor_mv {
+            return StateClass::Unsafe;
+        }
+        StateClass::Safe
+    }
+
+    /// The **maximal safe state** (Sec. 5): the deepest offset that is
+    /// safe at *every* characterized frequency, pulled up by
+    /// `margin_mv` ≥ 0 of extra guard. `None` if nothing is
+    /// characterized.
+    ///
+    /// When some frequency never faulted within the sweep, the floor
+    /// bounds what can be certified.
+    #[must_use]
+    pub fn maximal_safe_offset_mv(&self, margin_mv: i32) -> Option<i32> {
+        if self.bands.is_empty() {
+            return None;
+        }
+        let deepest_certifiable = self
+            .bands
+            .values()
+            .map(|b| match b.fault_onset_mv {
+                // Shallowest faulting offset: one step above it is safe.
+                Some(onset) => onset + 1,
+                // No fault within the sweep: certify only to the floor
+                // (or to just above the crash if one occurred earlier).
+                None => match b.crash_mv {
+                    Some(crash) => crash + 1,
+                    None => self.sweep_floor_mv,
+                },
+            })
+            .max()
+            .expect("non-empty bands");
+        Some((deepest_certifiable + margin_mv.max(0)).min(0))
+    }
+}
+
+fn shallower(a: Option<i32>, b: Option<i32>) -> Option<i32> {
+    // "Shallower" = closer to zero = larger (offsets are negative).
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> CharacterizationMap {
+        let mut m = CharacterizationMap::new("test-cpu", 0xf4, -300);
+        m.insert_band(
+            FreqMhz(1_000),
+            FreqBand {
+                fault_onset_mv: Some(-250),
+                crash_mv: Some(-270),
+            },
+        );
+        m.insert_band(
+            FreqMhz(2_000),
+            FreqBand {
+                fault_onset_mv: Some(-200),
+                crash_mv: Some(-230),
+            },
+        );
+        m.insert_band(
+            FreqMhz(3_000),
+            FreqBand {
+                fault_onset_mv: Some(-140),
+                crash_mv: Some(-180),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn exact_classification_regions() {
+        let m = map();
+        let f = FreqMhz(2_000);
+        assert_eq!(m.classify(f, 0), StateClass::Safe);
+        assert_eq!(m.classify(f, 50), StateClass::Safe);
+        assert_eq!(m.classify(f, -199), StateClass::Safe);
+        assert_eq!(m.classify(f, -200), StateClass::Unsafe);
+        assert_eq!(m.classify(f, -229), StateClass::Unsafe);
+        assert_eq!(m.classify(f, -230), StateClass::Crash);
+        assert_eq!(m.classify(f, -300), StateClass::Crash);
+    }
+
+    #[test]
+    fn interpolation_is_conservative() {
+        let m = map();
+        // 2.5 GHz sits between onsets −200 and −140: the governing band
+        // must use the shallower −140.
+        assert_eq!(m.classify(FreqMhz(2_500), -150), StateClass::Unsafe);
+        assert_eq!(m.classify(FreqMhz(2_500), -139), StateClass::Safe);
+    }
+
+    #[test]
+    fn out_of_range_frequencies_use_nearest() {
+        let m = map();
+        assert_eq!(m.classify(FreqMhz(500), -251), StateClass::Unsafe);
+        assert_eq!(m.classify(FreqMhz(500), -249), StateClass::Safe);
+        assert_eq!(m.classify(FreqMhz(3_600), -141), StateClass::Unsafe);
+    }
+
+    #[test]
+    fn empty_map_is_paranoid() {
+        let m = CharacterizationMap::new("x", 0, -300);
+        assert!(m.is_empty());
+        assert_eq!(m.classify(FreqMhz(1_000), -1), StateClass::Unsafe);
+        assert_eq!(m.classify(FreqMhz(1_000), 0), StateClass::Safe);
+        assert_eq!(m.maximal_safe_offset_mv(0), None);
+    }
+
+    #[test]
+    fn below_sweep_floor_is_unsafe() {
+        let mut m = CharacterizationMap::new("x", 0, -300);
+        // A frequency that never faulted in the sweep.
+        m.insert_band(FreqMhz(800), FreqBand::default());
+        assert_eq!(m.classify(FreqMhz(800), -299), StateClass::Safe);
+        assert_eq!(m.classify(FreqMhz(800), -301), StateClass::Unsafe);
+    }
+
+    #[test]
+    fn maximal_safe_state_is_the_shallowest_onset() {
+        let m = map();
+        // Shallowest onset −140 ⇒ deepest certifiable −139.
+        assert_eq!(m.maximal_safe_offset_mv(0), Some(-139));
+        assert_eq!(m.maximal_safe_offset_mv(10), Some(-129));
+        // Margin never pushes past zero.
+        assert_eq!(m.maximal_safe_offset_mv(500), Some(0));
+    }
+
+    #[test]
+    fn maximal_safe_state_with_unfaulted_band() {
+        let mut m = map();
+        m.insert_band(FreqMhz(400), FreqBand::default());
+        // The unfaulted band certifies to the floor (−300), which is
+        // deeper than −139, so the shallowest onset still governs.
+        assert_eq!(m.maximal_safe_offset_mv(0), Some(-139));
+    }
+
+    #[test]
+    fn classify_at_all_characterized_points_is_consistent() {
+        let m = map();
+        for (f, band) in m.iter() {
+            if let Some(onset) = band.fault_onset_mv {
+                assert_eq!(m.classify(f, onset + 1), StateClass::Safe);
+                assert_ne!(m.classify(f, onset), StateClass::Safe);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = map();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CharacterizationMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.cpu_name(), "test-cpu");
+        assert_eq!(back.microcode(), 0xf4);
+        assert_eq!(back.sweep_floor_mv(), -300);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative offset")]
+    fn positive_floor_rejected() {
+        let _ = CharacterizationMap::new("x", 0, 10);
+    }
+}

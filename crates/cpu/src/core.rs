@@ -1,0 +1,141 @@
+//! Per-core architectural state: P-states and C-states.
+
+use crate::freq::FreqMhz;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a core within a package.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+/// The idleness spectrum of a core: executing (**P**-state, with its
+/// operating frequency) or idle (**C**-state, with components power-gated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Executing at some point of the P-state spectrum.
+    PState {
+        /// Current operating frequency.
+        freq: FreqMhz,
+    },
+    /// Idle; deeper levels gate more of the core.
+    CState {
+        /// Idle depth (C1 = halt … C6 = power-gated).
+        level: u8,
+    },
+}
+
+/// One physical core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Core {
+    id: CoreId,
+    state: PowerState,
+    /// Frequency to resume at after idle, and the current one while running.
+    last_freq: FreqMhz,
+}
+
+impl Core {
+    /// Creates a core executing at `freq`.
+    #[must_use]
+    pub fn new(id: CoreId, freq: FreqMhz) -> Self {
+        Core {
+            id,
+            state: PowerState::PState { freq },
+            last_freq: freq,
+        }
+    }
+
+    /// The core's identifier.
+    #[must_use]
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The current power state.
+    #[must_use]
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// The operating frequency; idle cores report the frequency they will
+    /// resume at.
+    #[must_use]
+    pub fn freq(&self) -> FreqMhz {
+        match self.state {
+            PowerState::PState { freq } => freq,
+            PowerState::CState { .. } => self.resume_freq(),
+        }
+    }
+
+    fn resume_freq(&self) -> FreqMhz {
+        // Idle cores wake at their last requested frequency, which we keep
+        // by encoding C-state entry as a wrapper in `enter_idle`.
+        match self.state {
+            PowerState::PState { freq } => freq,
+            PowerState::CState { .. } => self.last_freq,
+        }
+    }
+
+    /// Sets the operating frequency (also the resume frequency if idle).
+    pub fn set_freq(&mut self, freq: FreqMhz) {
+        self.last_freq = freq;
+        if let PowerState::PState { freq: f } = &mut self.state {
+            *f = freq;
+        }
+    }
+
+    /// Enters an idle C-state.
+    pub fn enter_idle(&mut self, level: u8) {
+        if let PowerState::PState { freq } = self.state {
+            self.last_freq = freq;
+        }
+        self.state = PowerState::CState { level };
+    }
+
+    /// Wakes from idle back into the P-state spectrum.
+    pub fn wake(&mut self) {
+        self.state = PowerState::PState {
+            freq: self.last_freq,
+        };
+    }
+
+    /// Whether the core is executing.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, PowerState::PState { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_core_runs() {
+        let c = Core::new(CoreId(0), FreqMhz(2_000));
+        assert!(c.is_running());
+        assert_eq!(c.freq(), FreqMhz(2_000));
+        assert_eq!(c.id(), CoreId(0));
+    }
+
+    #[test]
+    fn idle_remembers_frequency() {
+        let mut c = Core::new(CoreId(1), FreqMhz(2_600));
+        c.enter_idle(6);
+        assert!(!c.is_running());
+        assert_eq!(c.state(), PowerState::CState { level: 6 });
+        assert_eq!(c.freq(), FreqMhz(2_600));
+        c.wake();
+        assert!(c.is_running());
+        assert_eq!(c.freq(), FreqMhz(2_600));
+    }
+
+    #[test]
+    fn set_freq_while_idle_applies_on_wake() {
+        let mut c = Core::new(CoreId(0), FreqMhz(1_000));
+        c.enter_idle(1);
+        c.set_freq(FreqMhz(3_000));
+        c.wake();
+        assert_eq!(c.freq(), FreqMhz(3_000));
+    }
+}

@@ -1,0 +1,191 @@
+//! Core frequency types and the per-model frequency table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A core frequency in megahertz.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_cpu::freq::FreqMhz;
+///
+/// let f = FreqMhz(3_200);
+/// assert_eq!(f.ghz(), 3.2);
+/// assert_eq!(f.period_ps(), 312.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FreqMhz(pub u32);
+
+impl FreqMhz {
+    /// The frequency in GHz.
+    #[must_use]
+    pub fn ghz(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+
+    /// The clock period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period_ps(self) -> f64 {
+        assert!(self.0 > 0, "zero frequency has no period");
+        1e6 / f64::from(self.0)
+    }
+
+    /// The raw MHz value.
+    #[must_use]
+    pub const fn mhz(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FreqMhz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1000) {
+            write!(f, "{} GHz", self.0 / 1000)
+        } else {
+            write!(f, "{:.1} GHz", self.ghz())
+        }
+    }
+}
+
+/// The vendor-set table of permissible core frequencies (the "frequency
+/// table" exposed to cpufreq), from `min` to `max` in fixed steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqTable {
+    min: FreqMhz,
+    max: FreqMhz,
+    step: u32,
+}
+
+impl FreqTable {
+    /// Creates a table spanning `[min, max]` in `step`-MHz increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`, `step` is zero, or the span is not a
+    /// multiple of `step`.
+    #[must_use]
+    pub fn new(min: FreqMhz, max: FreqMhz, step: u32) -> Self {
+        assert!(min.0 > 0 && min <= max, "invalid frequency range");
+        assert!(step > 0, "step must be non-zero");
+        assert_eq!(
+            (max.0 - min.0) % step,
+            0,
+            "range must be a multiple of step"
+        );
+        FreqTable { min, max, step }
+    }
+
+    /// Lowest table entry.
+    #[must_use]
+    pub fn min(&self) -> FreqMhz {
+        self.min
+    }
+
+    /// Highest table entry.
+    #[must_use]
+    pub fn max(&self) -> FreqMhz {
+        self.max
+    }
+
+    /// Step between entries in MHz.
+    #[must_use]
+    pub fn step_mhz(&self) -> u32 {
+        self.step
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        ((self.max.0 - self.min.0) / self.step + 1) as usize
+    }
+
+    /// Always false: a table has at least one entry by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `f` is one of the table entries.
+    #[must_use]
+    pub fn contains(&self, f: FreqMhz) -> bool {
+        f >= self.min && f <= self.max && (f.0 - self.min.0).is_multiple_of(self.step)
+    }
+
+    /// The table entry closest to `f` (clamping outside the range).
+    #[must_use]
+    pub fn quantize(&self, f: FreqMhz) -> FreqMhz {
+        let clamped = f.0.clamp(self.min.0, self.max.0);
+        let steps = (clamped - self.min.0 + self.step / 2) / self.step;
+        FreqMhz(self.min.0 + steps * self.step)
+    }
+
+    /// Iterates over all entries, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = FreqMhz> + '_ {
+        (self.min.0..=self.max.0)
+            .step_by(self.step as usize)
+            .map(FreqMhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FreqTable {
+        FreqTable::new(FreqMhz(800), FreqMhz(3_600), 100)
+    }
+
+    #[test]
+    fn period_and_ghz() {
+        assert_eq!(FreqMhz(1_000).period_ps(), 1_000.0);
+        assert_eq!(FreqMhz(2_000).ghz(), 2.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FreqMhz(3_000).to_string(), "3 GHz");
+        assert_eq!(FreqMhz(3_300).to_string(), "3.3 GHz");
+    }
+
+    #[test]
+    fn table_len_and_iter() {
+        let t = table();
+        assert_eq!(t.len(), 29);
+        assert!(!t.is_empty());
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.first(), Some(&FreqMhz(800)));
+        assert_eq!(all.last(), Some(&FreqMhz(3_600)));
+        assert_eq!(all.len(), t.len());
+    }
+
+    #[test]
+    fn contains_respects_step() {
+        let t = table();
+        assert!(t.contains(FreqMhz(1_200)));
+        assert!(!t.contains(FreqMhz(1_250)));
+        assert!(!t.contains(FreqMhz(700)));
+        assert!(!t.contains(FreqMhz(3_700)));
+    }
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        let t = table();
+        assert_eq!(t.quantize(FreqMhz(1_249)), FreqMhz(1_200));
+        assert_eq!(t.quantize(FreqMhz(1_250)), FreqMhz(1_300));
+        assert_eq!(t.quantize(FreqMhz(100)), FreqMhz(800));
+        assert_eq!(t.quantize(FreqMhz(9_999)), FreqMhz(3_600));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of step")]
+    fn misaligned_range_rejected() {
+        let _ = FreqTable::new(FreqMhz(800), FreqMhz(3_650), 100);
+    }
+}

@@ -1,0 +1,324 @@
+//! The three evaluated CPU generations and their physical parameters.
+//!
+//! The paper characterizes Intel Sky Lake (i5-6500, µcode 0xf0), Kaby
+//! Lake R (i5-8250U, µcode 0xf4) and Comet Lake (i7-10510U, µcode 0xf4).
+//! [`CpuSpec`] carries everything the simulation needs: the frequency
+//! table, the nominal voltage/frequency curve, flip-flop timing overheads,
+//! the process parameters of the delay model and the vendor guardband the
+//! multiplier datapath is calibrated against.
+
+use crate::freq::{FreqMhz, FreqTable};
+use plugvolt_circuit::delay::AlphaPowerModel;
+use plugvolt_circuit::fault::FaultModel;
+use plugvolt_circuit::multiplier::MultiplierUnit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The CPU generations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuModel {
+    /// Intel Core i5-6500 @ 3.20 GHz, microcode 0xf0.
+    SkyLake,
+    /// Intel Core i5-8250U @ 1.60 GHz, microcode 0xf4.
+    KabyLakeR,
+    /// Intel Core i7-10510U @ 1.80 GHz, microcode 0xf4.
+    CometLake,
+}
+
+impl CpuModel {
+    /// All three evaluated generations.
+    pub const ALL: [CpuModel; 3] = [CpuModel::SkyLake, CpuModel::KabyLakeR, CpuModel::CometLake];
+
+    /// The full specification for this model.
+    #[must_use]
+    pub fn spec(self) -> CpuSpec {
+        match self {
+            CpuModel::SkyLake => CpuSpec {
+                model: self,
+                name: "Intel(R) Core(TM) i5-6500 CPU @ 3.20GHz",
+                codename: "Sky Lake",
+                microcode: 0xf0,
+                cores: 4,
+                base_freq: FreqMhz(3_200),
+                freq_table: FreqTable::new(FreqMhz(800), FreqMhz(3_600), 100),
+                vf_v0_mv: 628.6,
+                vf_slope_mv_per_mhz: 0.1643,
+                t_setup_ps: 35.0,
+                t_eps_ps: 15.0,
+                vth_mv: 420.0,
+                alpha: 1.35,
+                guardband_mv: 160.0,
+                fault_band_ps: 0.1,
+                crash_margin_ps: 8.0,
+            },
+            CpuModel::KabyLakeR => CpuSpec {
+                model: self,
+                name: "Intel(R) Core(TM) i5-8250U CPU @ 1.60GHz",
+                codename: "Kaby Lake R",
+                microcode: 0xf4,
+                cores: 4,
+                base_freq: FreqMhz(1_600),
+                freq_table: FreqTable::new(FreqMhz(400), FreqMhz(3_400), 100),
+                vf_v0_mv: 689.7,
+                vf_slope_mv_per_mhz: 0.1383,
+                t_setup_ps: 32.0,
+                t_eps_ps: 14.0,
+                vth_mv: 410.0,
+                alpha: 1.40,
+                guardband_mv: 140.0,
+                fault_band_ps: 0.1,
+                crash_margin_ps: 7.0,
+            },
+            CpuModel::CometLake => CpuSpec {
+                model: self,
+                name: "Intel(R) Core(TM) i7-10510U CPU @ 1.80GHz",
+                codename: "Comet Lake",
+                microcode: 0xf4,
+                cores: 4,
+                base_freq: FreqMhz(1_800),
+                freq_table: FreqTable::new(FreqMhz(400), FreqMhz(4_900), 100),
+                vf_v0_mv: 709.1,
+                vf_slope_mv_per_mhz: 0.1022,
+                t_setup_ps: 30.0,
+                t_eps_ps: 13.0,
+                vth_mv: 400.0,
+                alpha: 1.45,
+                guardband_mv: 155.0,
+                fault_band_ps: 0.1,
+                crash_margin_ps: 8.0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().codename)
+    }
+}
+
+/// Full physical and architectural specification of a CPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Which generation this is.
+    pub model: CpuModel,
+    /// Marketing name string (what `/proc/cpuinfo` would report).
+    pub name: &'static str,
+    /// Intel codename.
+    pub codename: &'static str,
+    /// Microcode revision loaded at reset.
+    pub microcode: u32,
+    /// Physical core count.
+    pub cores: usize,
+    /// Base (non-turbo) frequency.
+    pub base_freq: FreqMhz,
+    /// The permissible frequency table.
+    pub freq_table: FreqTable,
+    /// V/F curve intercept: nominal voltage at 0 MHz (extrapolated), mV.
+    pub vf_v0_mv: f64,
+    /// V/F curve slope, mV per MHz.
+    pub vf_slope_mv_per_mhz: f64,
+    /// Capture flip-flop setup time, ps.
+    pub t_setup_ps: f64,
+    /// Worst-case clock uncertainty, ps.
+    pub t_eps_ps: f64,
+    /// Process threshold voltage, mV.
+    pub vth_mv: f64,
+    /// Alpha-power-law index of the process.
+    pub alpha: f64,
+    /// Vendor guardband: at the table's maximum frequency, the nominal
+    /// voltage sits this far above the analytic fault onset.
+    pub guardband_mv: f64,
+    /// Logistic fault-band width (ps) of the process.
+    pub fault_band_ps: f64,
+    /// Crash margin (ps) past zero slack.
+    pub crash_margin_ps: f64,
+}
+
+impl CpuSpec {
+    /// Nominal (fused V/F-curve) core voltage at frequency `f`, in mV.
+    #[must_use]
+    pub fn nominal_voltage_mv(&self, f: FreqMhz) -> f64 {
+        self.vf_v0_mv + self.vf_slope_mv_per_mhz * f64::from(f.mhz())
+    }
+
+    /// The stochastic fault model of this process.
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        FaultModel::new(self.fault_band_ps, self.crash_margin_ps)
+    }
+
+    /// The calibrated `imul` datapath of this part.
+    ///
+    /// Calibration anchors the worst-case (full-width) path so it consumes
+    /// exactly the available budget at the **maximum table frequency**
+    /// when undervolted `guardband_mv` below nominal: i.e. at `f_max` the
+    /// analytic fault onset sits `guardband_mv` under the V/F curve, the
+    /// way vendors provision guardbands. Onsets at other frequencies then
+    /// *emerge* from the alpha-power physics.
+    #[must_use]
+    pub fn multiplier(&self) -> MultiplierUnit {
+        let f_max = self.freq_table.max();
+        let avail_ps = f_max.period_ps() - self.t_setup_ps - self.t_eps_ps;
+        let anchor_v_mv = self.nominal_voltage_mv(f_max) - self.guardband_mv;
+        let wire_ps = 10.0;
+        // Full-width depth used by MultiplierUnit: base 6 + extra 15.5;
+        // the clock-to-Q flop is worth ≈ 2.2 gate delays.
+        let full_depth = 6.0 + 15.5;
+        let gate_ps = (avail_ps - wire_ps) / (full_depth + 2.2);
+        let gate = AlphaPowerModel::calibrated(gate_ps, anchor_v_mv, self.vth_mv, self.alpha);
+        let clk_to_q =
+            AlphaPowerModel::calibrated(2.2 * gate_ps, anchor_v_mv, self.vth_mv, self.alpha);
+        MultiplierUnit::new(gate, clk_to_q, wire_ps, 6.0, 15.5)
+    }
+
+    /// Lowest voltage at which the package stays alive at all (below this
+    /// the VR cuts out regardless of timing), in mV.
+    #[must_use]
+    pub fn absolute_min_voltage_mv(&self) -> f64 {
+        self.vth_mv + 30.0
+    }
+
+    /// Applies deterministic die-to-die process variation, yielding the
+    /// spec of physical *unit* `unit` of this generation. Guardband,
+    /// threshold voltage and the V/F intercept each jitter by a few
+    /// millivolts — enough that two units of the same SKU have visibly
+    /// different safe/unsafe maps, as real silicon does.
+    #[must_use]
+    pub fn with_unit_variation(mut self, unit: u64) -> CpuSpec {
+        use plugvolt_des::rng::SimRng;
+        let mut rng = SimRng::from_seed_label(unit, "die-to-die-variation");
+        self.guardband_mv = (self.guardband_mv + 6.0 * rng.gaussian()).max(60.0);
+        self.vth_mv = (self.vth_mv + 4.0 * rng.gaussian()).max(300.0);
+        self.vf_v0_mv += 3.0 * rng.gaussian();
+        self
+    }
+
+    /// Nominal cache-plane voltage at frequency `f`, in mV. The cache
+    /// arrays run on their own plane (Table 1 plane 2), fused slightly
+    /// below the core plane on these parts.
+    #[must_use]
+    pub fn nominal_cache_voltage_mv(&self, f: FreqMhz) -> f64 {
+        self.nominal_voltage_mv(f) - 20.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_circuit::timing::TimingBudget;
+
+    #[test]
+    fn specs_match_paper_hardware() {
+        let s = CpuModel::SkyLake.spec();
+        assert_eq!(s.microcode, 0xf0);
+        assert!(s.name.contains("i5-6500"));
+        let k = CpuModel::KabyLakeR.spec();
+        assert_eq!(k.microcode, 0xf4);
+        assert!(k.name.contains("i5-8250U"));
+        let c = CpuModel::CometLake.spec();
+        assert_eq!(c.microcode, 0xf4);
+        assert!(c.name.contains("i7-10510U"));
+    }
+
+    #[test]
+    fn base_frequency_in_table() {
+        for m in CpuModel::ALL {
+            let s = m.spec();
+            assert!(s.freq_table.contains(s.base_freq), "{m}");
+        }
+    }
+
+    #[test]
+    fn vf_curve_is_increasing_and_sane() {
+        for m in CpuModel::ALL {
+            let s = m.spec();
+            let v_min = s.nominal_voltage_mv(s.freq_table.min());
+            let v_max = s.nominal_voltage_mv(s.freq_table.max());
+            assert!(v_min < v_max, "{m}");
+            assert!((700.0..800.0).contains(&v_min), "{m}: v_min={v_min}");
+            assert!((1_000.0..1_300.0).contains(&v_max), "{m}: v_max={v_max}");
+        }
+    }
+
+    #[test]
+    fn guardband_calibration_anchors_fault_onset() {
+        for m in CpuModel::ALL {
+            let s = m.spec();
+            let mul = s.multiplier();
+            let f_max = s.freq_table.max();
+            let budget = TimingBudget::for_frequency_mhz(f_max.mhz(), s.t_setup_ps, s.t_eps_ps);
+            let v_onset = s.nominal_voltage_mv(f_max) - s.guardband_mv;
+            let slack = mul.slack_ps(u64::MAX, u64::MAX, &budget, v_onset);
+            assert!(slack.abs() < 0.5, "{m}: slack at anchor = {slack}");
+            // At nominal there is real margin.
+            let nominal_slack =
+                mul.slack_ps(u64::MAX, u64::MAX, &budget, s.nominal_voltage_mv(f_max));
+            assert!(nominal_slack > 15.0, "{m}: nominal slack = {nominal_slack}");
+        }
+    }
+
+    #[test]
+    fn every_table_frequency_is_safe_at_nominal() {
+        for m in CpuModel::ALL {
+            let s = m.spec();
+            let mul = s.multiplier();
+            let fm = s.fault_model();
+            for f in s.freq_table.iter() {
+                let budget = TimingBudget::for_frequency_mhz(f.mhz(), s.t_setup_ps, s.t_eps_ps);
+                let slack = mul.slack_ps(u64::MAX, u64::MAX, &budget, s.nominal_voltage_mv(f));
+                assert_eq!(
+                    fm.classify(slack),
+                    plugvolt_circuit::timing::TimingState::Safe,
+                    "{m} at {f}: slack={slack}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_have_distinct_characterizations() {
+        // The three generations must not collapse onto the same curve.
+        let onsets: Vec<f64> = CpuModel::ALL
+            .iter()
+            .map(|m| {
+                let s = m.spec();
+                let mul = s.multiplier();
+                let f = FreqMhz(2_000);
+                let budget = TimingBudget::for_frequency_mhz(f.mhz(), s.t_setup_ps, s.t_eps_ps);
+                // Scan for the fault-onset offset at 2 GHz.
+                let nominal = s.nominal_voltage_mv(f);
+                let mut offset = 0.0;
+                while budget.slack_ps(mul.worst_path_delay_ps(nominal + offset)) > 0.0 {
+                    offset -= 1.0;
+                    assert!(offset > -500.0, "{m}: no onset found");
+                }
+                offset
+            })
+            .collect();
+        assert!(
+            (onsets[0] - onsets[1]).abs() > 2.0 || (onsets[1] - onsets[2]).abs() > 2.0,
+            "onsets identical: {onsets:?}"
+        );
+    }
+
+    #[test]
+    fn unit_variation_is_deterministic_and_distinct() {
+        let base = CpuModel::CometLake.spec();
+        let u0 = base.clone().with_unit_variation(0);
+        let u0_again = CpuModel::CometLake.spec().with_unit_variation(0);
+        assert_eq!(u0, u0_again, "same unit, same silicon");
+        let u1 = base.clone().with_unit_variation(1);
+        assert_ne!(u0, u1, "different dies differ");
+        // Variation stays within sane bounds.
+        assert!((u0.guardband_mv - base.guardband_mv).abs() < 30.0);
+        assert!((u0.vth_mv - base.vth_mv).abs() < 20.0);
+    }
+
+    #[test]
+    fn display_uses_codename() {
+        assert_eq!(CpuModel::SkyLake.to_string(), "Sky Lake");
+        assert_eq!(CpuModel::KabyLakeR.to_string(), "Kaby Lake R");
+        assert_eq!(CpuModel::CometLake.to_string(), "Comet Lake");
+    }
+}

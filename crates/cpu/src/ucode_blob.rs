@@ -1,0 +1,343 @@
+//! Microcode update *blobs* — the distributable artifact of Sec. 5.1.
+//!
+//! Real Intel microcode updates travel as binary files with a 48-byte
+//! header (header version, update revision, BCD date, processor
+//! signature, checksum, loader revision, processor flags, sizes) whose
+//! dword sum must be zero; the BIOS/OS loader validates the header and
+//! the CPUID signature before handing the payload to the sequencer. We
+//! implement that container for the maximal-safe-state patch so the
+//! vendor→BIOS→sequencer pipeline is exercised end to end, including the
+//! rejection paths (bad checksum, wrong part, truncation).
+
+use crate::microcode::{MicrocodeUpdate, PatchKind};
+use crate::model::CpuModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Header version used by the Intel container format.
+pub const HEADER_VERSION: u32 = 1;
+/// Loader revision we emit.
+pub const LOADER_REVISION: u32 = 1;
+/// Size of the fixed header in bytes.
+pub const HEADER_BYTES: usize = 48;
+
+/// Errors while parsing or validating a blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlobError {
+    /// Shorter than the fixed header, or shorter than `total_size`.
+    Truncated,
+    /// Unknown header version.
+    BadHeaderVersion(u32),
+    /// Dword sum over `total_size` is not zero.
+    BadChecksum,
+    /// Sizes are inconsistent (not dword multiples, data > total…).
+    BadSizes,
+    /// The payload's patch kind byte is unknown.
+    BadPayload,
+    /// The blob targets a different processor signature.
+    WrongProcessor {
+        /// Signature in the blob.
+        blob: u32,
+        /// Signature of the part attempting the load.
+        part: u32,
+    },
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::Truncated => write!(f, "blob truncated"),
+            BlobError::BadHeaderVersion(v) => write!(f, "unknown header version {v}"),
+            BlobError::BadChecksum => write!(f, "checksum mismatch"),
+            BlobError::BadSizes => write!(f, "inconsistent size fields"),
+            BlobError::BadPayload => write!(f, "unknown patch payload"),
+            BlobError::WrongProcessor { blob, part } => {
+                write!(f, "blob for cpuid {blob:#x}, this part is {part:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+/// A parsed microcode update container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateBlob {
+    /// The behavioural update carried in the payload.
+    pub update: MicrocodeUpdate,
+    /// Targeted processor signature (CPUID leaf 1 EAX).
+    pub processor_signature: u32,
+    /// Release date, BCD `mmddyyyy` as in the real format.
+    pub date_bcd: u32,
+}
+
+impl UpdateBlob {
+    /// Packages an update for a CPU model, dated `date_bcd`
+    /// (e.g. `0x0607_2026` = June 7, 2026).
+    #[must_use]
+    pub fn package(update: MicrocodeUpdate, model: CpuModel, date_bcd: u32) -> Self {
+        UpdateBlob {
+            update,
+            processor_signature: cpuid_signature(model),
+            date_bcd,
+        }
+    }
+
+    /// Serializes to the container format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = encode_payload(&self.update);
+        let data_size = payload.len() as u32;
+        let total_size = (HEADER_BYTES as u32 + data_size).next_multiple_of(4);
+        let mut out = Vec::with_capacity(total_size as usize);
+        let mut push = |v: u32| out.extend_from_slice(&v.to_le_bytes());
+        push(HEADER_VERSION); //  0: header version
+        push(self.update.revision); //  4: update revision
+        push(self.date_bcd); //  8: date
+        push(self.processor_signature); // 12: processor signature
+        push(0); // 16: checksum placeholder
+        push(LOADER_REVISION); // 20: loader revision
+        push(0x01); // 24: processor flags (slot 0)
+        push(data_size); // 28: data size
+        push(total_size); // 32: total size
+        push(0); // 36: reserved
+        push(0); // 40: reserved
+        push(0); // 44: reserved
+        out.extend_from_slice(&payload);
+        out.resize(total_size as usize, 0);
+        // Fix up the checksum so the dword sum over the whole image is 0.
+        let sum = dword_sum(&out);
+        let fix = 0u32.wrapping_sub(sum);
+        out[16..20].copy_from_slice(&fix.to_le_bytes());
+        debug_assert_eq!(dword_sum(&out), 0);
+        out
+    }
+
+    /// Parses and validates a container (checksum, sizes, payload).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BlobError`] except `WrongProcessor` (signature matching is
+    /// the *loader's* job — see [`validate_for`](Self::validate_for)).
+    pub fn decode(bytes: &[u8]) -> Result<Self, BlobError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(BlobError::Truncated);
+        }
+        let dword = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+        if dword(0) != HEADER_VERSION {
+            return Err(BlobError::BadHeaderVersion(dword(0)));
+        }
+        let revision = dword(4);
+        let date_bcd = dword(8);
+        let processor_signature = dword(12);
+        let data_size = dword(28) as usize;
+        let total_size = dword(32) as usize;
+        if !total_size.is_multiple_of(4)
+            || total_size < HEADER_BYTES
+            || data_size > total_size - HEADER_BYTES
+        {
+            return Err(BlobError::BadSizes);
+        }
+        if bytes.len() < total_size {
+            return Err(BlobError::Truncated);
+        }
+        if dword_sum(&bytes[..total_size]) != 0 {
+            return Err(BlobError::BadChecksum);
+        }
+        let payload = &bytes[HEADER_BYTES..HEADER_BYTES + data_size];
+        let kind = decode_payload(payload)?;
+        Ok(UpdateBlob {
+            update: MicrocodeUpdate { revision, kind },
+            processor_signature,
+            date_bcd,
+        })
+    }
+
+    /// The loader-side signature check: is this blob for `model`?
+    ///
+    /// # Errors
+    ///
+    /// [`BlobError::WrongProcessor`] on mismatch.
+    pub fn validate_for(&self, model: CpuModel) -> Result<(), BlobError> {
+        let part = cpuid_signature(model);
+        if self.processor_signature == part {
+            Ok(())
+        } else {
+            Err(BlobError::WrongProcessor {
+                blob: self.processor_signature,
+                part,
+            })
+        }
+    }
+}
+
+/// CPUID leaf-1 EAX signature of each modelled part (real values:
+/// family/model/stepping of the i5-6500, i5-8250U and i7-10510U).
+#[must_use]
+pub fn cpuid_signature(model: CpuModel) -> u32 {
+    match model {
+        CpuModel::SkyLake => 0x0005_06E3,
+        CpuModel::KabyLakeR => 0x0008_06EA,
+        CpuModel::CometLake => 0x0008_06EC,
+    }
+}
+
+fn dword_sum(bytes: &[u8]) -> u32 {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .fold(0u32, u32::wrapping_add)
+}
+
+fn encode_payload(update: &MicrocodeUpdate) -> Vec<u8> {
+    match update.kind {
+        PatchKind::WriteIgnoreUnsafeMailbox { max_offset_mv } => {
+            let mut p = vec![0x01, 0, 0, 0];
+            p.extend_from_slice(&max_offset_mv.to_le_bytes());
+            p
+        }
+        PatchKind::DisableOcMailbox => vec![0x02, 0, 0, 0],
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<PatchKind, BlobError> {
+    match payload.first() {
+        Some(0x01) => {
+            if payload.len() < 8 {
+                return Err(BlobError::BadPayload);
+            }
+            let mv = i32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+            if mv > 0 {
+                return Err(BlobError::BadPayload);
+            }
+            Ok(PatchKind::WriteIgnoreUnsafeMailbox { max_offset_mv: mv })
+        }
+        Some(0x02) => Ok(PatchKind::DisableOcMailbox),
+        _ => Err(BlobError::BadPayload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob() -> UpdateBlob {
+        UpdateBlob::package(
+            MicrocodeUpdate::maximal_safe_state(0xf5, -147),
+            CpuModel::CometLake,
+            0x0607_2026,
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = blob();
+        let bytes = b.encode();
+        assert!(bytes.len() >= HEADER_BYTES);
+        assert_eq!(bytes.len() % 4, 0);
+        let back = UpdateBlob::decode(&bytes).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.update.revision, 0xf5);
+        assert!(matches!(
+            back.update.kind,
+            PatchKind::WriteIgnoreUnsafeMailbox {
+                max_offset_mv: -147
+            }
+        ));
+    }
+
+    #[test]
+    fn disable_ocm_round_trip() {
+        let b = UpdateBlob::package(
+            MicrocodeUpdate::disable_ocm(0xf6),
+            CpuModel::SkyLake,
+            0x1201_2019,
+        );
+        let back = UpdateBlob::decode(&b.encode()).unwrap();
+        assert_eq!(back.update.kind, PatchKind::DisableOcMailbox);
+        assert_eq!(back.processor_signature, 0x0005_06E3);
+    }
+
+    #[test]
+    fn checksum_makes_dwords_sum_to_zero() {
+        let bytes = blob().encode();
+        assert_eq!(dword_sum(&bytes), 0);
+    }
+
+    #[test]
+    fn corrupted_byte_is_rejected() {
+        let bytes = blob().encode();
+        for idx in [5, 20, HEADER_BYTES + 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[idx] ^= 0x40;
+            assert!(
+                matches!(
+                    UpdateBlob::decode(&corrupt),
+                    Err(BlobError::BadChecksum)
+                        | Err(BlobError::BadSizes)
+                        | Err(BlobError::Truncated)
+                ),
+                "flip at {idx} slipped through"
+            );
+        }
+        // The original still parses (the flips above were on clones).
+        assert!(UpdateBlob::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = blob().encode();
+        assert_eq!(UpdateBlob::decode(&bytes[..10]), Err(BlobError::Truncated));
+        assert_eq!(
+            UpdateBlob::decode(&bytes[..bytes.len() - 4]),
+            Err(BlobError::Truncated)
+        );
+    }
+
+    #[test]
+    fn wrong_header_version_rejected() {
+        let mut bytes = blob().encode();
+        bytes[0] = 9;
+        // Re-fix the checksum so *only* the version is wrong.
+        bytes[16..20].copy_from_slice(&0u32.to_le_bytes());
+        let sum = dword_sum(&bytes);
+        bytes[16..20].copy_from_slice(&0u32.wrapping_sub(sum).to_le_bytes());
+        assert_eq!(
+            UpdateBlob::decode(&bytes),
+            Err(BlobError::BadHeaderVersion(9))
+        );
+    }
+
+    #[test]
+    fn signature_gate() {
+        let b = blob();
+        assert!(b.validate_for(CpuModel::CometLake).is_ok());
+        assert_eq!(
+            b.validate_for(CpuModel::SkyLake),
+            Err(BlobError::WrongProcessor {
+                blob: 0x0008_06EC,
+                part: 0x0005_06E3
+            })
+        );
+    }
+
+    #[test]
+    fn positive_bound_payload_rejected() {
+        // Hand-craft a payload with a positive (nonsense) bound.
+        let mut bytes = blob().encode();
+        bytes[HEADER_BYTES + 4..HEADER_BYTES + 8].copy_from_slice(&50i32.to_le_bytes());
+        // Re-fix the checksum.
+        let total = bytes.len();
+        bytes[16..20].copy_from_slice(&0u32.to_le_bytes());
+        let sum = dword_sum(&bytes[..total]);
+        bytes[16..20].copy_from_slice(&0u32.wrapping_sub(sum).to_le_bytes());
+        assert_eq!(UpdateBlob::decode(&bytes), Err(BlobError::BadPayload));
+    }
+
+    #[test]
+    fn real_cpuid_signatures() {
+        assert_eq!(cpuid_signature(CpuModel::SkyLake), 0x506E3);
+        assert_eq!(cpuid_signature(CpuModel::KabyLakeR), 0x806EA);
+        assert_eq!(cpuid_signature(CpuModel::CometLake), 0x806EC);
+    }
+}

@@ -1,0 +1,61 @@
+//! # plugvolt-des
+//!
+//! Deterministic discrete-event simulation kernel underpinning the
+//! *Plug Your Volt* (DAC 2024) reproduction.
+//!
+//! The reproduction replaces the paper's physical Intel test benches with a
+//! software model; every layer of that model (voltage regulator transients,
+//! kernel scheduler slices, MSR polling timers, attack campaigns) runs on
+//! the primitives defined here:
+//!
+//! - [`time`] — picosecond-resolution [`time::SimTime`] / [`time::SimDuration`];
+//! - [`queue`] + [`sim`] — the event calendar and executive;
+//! - [`rng`] — labelled deterministic random streams;
+//! - [`stats`] — online summaries and histograms for reports;
+//! - [`trace`] — bounded trace ring used to assert on behaviour sequences;
+//! - [`vcd`] — IEEE-1364 Value Change Dump export for waveform viewers.
+//!
+//! # Examples
+//!
+//! A tiny two-event simulation:
+//!
+//! ```
+//! use plugvolt_des::prelude::*;
+//!
+//! #[derive(Debug, Default)]
+//! struct World {
+//!     voltage_mv: i32,
+//! }
+//!
+//! let mut sim = Simulator::new(World::default());
+//! sim.schedule_in(SimDuration::from_micros(5), |w: &mut World, _| {
+//!     w.voltage_mv = -150; // undervolt lands
+//! });
+//! sim.schedule_in(SimDuration::from_micros(9), |w: &mut World, _| {
+//!     w.voltage_mv = 0; // countermeasure restores
+//! });
+//! sim.run_for(SimDuration::from_micros(10));
+//! assert_eq!(sim.world().voltage_mv, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod vcd;
+
+/// Convenient glob-import of the commonly used names.
+pub mod prelude {
+    pub use crate::queue::{EventId, EventQueue};
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{PeriodicHandle, Simulator};
+    pub use crate::stats::{Histogram, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceBuffer, TraceLevel, TraceRecord};
+    pub use crate::vcd::{SignalId, SignalKind, Value, VcdRecorder};
+}

@@ -1,0 +1,284 @@
+//! Pending-event queue.
+//!
+//! A classic calendar for discrete-event simulation: events are closures
+//! over a world type `W`, ordered by firing time with FIFO tie-breaking
+//! (two events scheduled for the same instant fire in scheduling order,
+//! which keeps runs deterministic).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number (monotonically increasing per queue).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// The action an event performs when it fires.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest
+        // sequence number) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered queue of pending events over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_des::queue::EventQueue;
+/// use plugvolt_des::time::SimTime;
+///
+/// let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+/// q.schedule_at(SimTime::from_picos(20), |w, _| w.push(2));
+/// q.schedule_at(SimTime::from_picos(10), |w, _| w.push(1));
+/// let mut world = Vec::new();
+/// while let Some((t, f)) = q.pop_due(SimTime::MAX) {
+///     let _ = t;
+///     f(&mut world, &mut q);
+/// }
+/// assert_eq!(world, [1, 2]);
+/// ```
+pub struct EventQueue<W> {
+    heap: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<W> Default for EventQueue<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> fmt::Debug for EventQueue<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `action` to fire at absolute time `at`.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (it will now never
+    /// fire); `false` if it already fired, was already cancelled, or the id
+    /// is unknown.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply know whether the event already fired; record the
+        // tombstone and report whether it was newly inserted while the event
+        // is still pending.
+        let pending = self.heap.iter().any(|s| s.seq == id.0);
+        if pending {
+            self.cancelled.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Number of live (not cancelled) pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Firing time of the next live event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next live event if it is due at or before `horizon`.
+    ///
+    /// Returns the event's firing time together with its action; the caller
+    /// is responsible for advancing its clock to that time before invoking
+    /// the action.
+    pub fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, EventFn<W>)> {
+        self.skim_cancelled();
+        if self.heap.peek().is_some_and(|s| s.at <= horizon) {
+            let s = self.heap.pop().expect("peeked entry vanished");
+            Some((s.at, s.action))
+        } else {
+            None
+        }
+    }
+
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            let id = EventId(top.seq);
+            if self.cancelled.remove(&id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ps: u64) -> SimTime {
+        SimTime::from_picos(ps)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        q.schedule_at(at(30), |w, _| w.push(30));
+        q.schedule_at(at(10), |w, _| w.push(10));
+        q.schedule_at(at(20), |w, _| w.push(20));
+        let mut world = Vec::new();
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, [10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        for i in 0..8 {
+            q.schedule_at(at(5), move |w, _| w.push(i));
+        }
+        let mut world = Vec::new();
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_bounds_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(at(100), |_, _| {});
+        assert!(q.pop_due(at(99)).is_none());
+        assert!(q.pop_due(at(100)).is_some());
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        let keep = q.schedule_at(at(1), |w, _| w.push(1));
+        let drop = q.schedule_at(at(2), |w, _| w.push(2));
+        assert!(q.cancel(drop));
+        assert!(!q.cancel(drop), "double cancel reports false");
+        let mut world = Vec::new();
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, [1]);
+        assert!(!q.cancel(keep), "cancelling a fired event reports false");
+    }
+
+    #[test]
+    fn events_can_reschedule() {
+        // A self-rearming timer: fires at 0, 10, 20 then stops.
+        fn arm(q: &mut EventQueue<Vec<u64>>, t: SimTime) {
+            q.schedule_at(t, move |w, q| {
+                w.push(t.as_picos());
+                if w.len() < 3 {
+                    arm(q, t + SimDuration::from_picos(10));
+                }
+            });
+        }
+        let mut q = EventQueue::new();
+        arm(&mut q, SimTime::ZERO);
+        let mut world = Vec::new();
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, [0, 10, 20]);
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let a = q.schedule_at(at(1), |_, _| {});
+        let _b = q.schedule_at(at(2), |_, _| {});
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn unknown_id_cancel_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+}

@@ -1,0 +1,298 @@
+//! The simulation executive: a clock plus an event queue over a world.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Cancellation handle for a periodic event created with
+/// [`Simulator::schedule_every`].
+///
+/// Cloning yields another handle to the same periodic event.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodicHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl PeriodicHandle {
+    fn new() -> Self {
+        PeriodicHandle::default()
+    }
+
+    /// Stops the periodic event; it will never fire again.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// A discrete-event simulator owning a world of type `W`.
+///
+/// The world holds all mutable simulation state; events are closures that
+/// receive `&mut W` and may schedule further events. Runs are fully
+/// deterministic: equal worlds plus equal schedules produce equal histories.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_des::sim::Simulator;
+/// use plugvolt_des::time::{SimDuration, SimTime};
+///
+/// let mut sim = Simulator::new(0u64);
+/// sim.schedule_in(SimDuration::from_nanos(3), |w, _| *w += 1);
+/// sim.schedule_in(SimDuration::from_nanos(1), |w, _| *w += 10);
+/// sim.run_until(SimTime::from_picos(2_000));
+/// assert_eq!(*sim.world(), 10); // only the 1 ns event fired
+/// sim.run_to_completion();
+/// assert_eq!(*sim.world(), 11);
+/// ```
+pub struct Simulator<W> {
+    now: SimTime,
+    world: W,
+    queue: EventQueue<W>,
+    events_fired: u64,
+}
+
+impl<W: fmt::Debug> fmt::Debug for Simulator<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("world", &self.world)
+            .field("pending", &self.queue.len())
+            .field("events_fired", &self.events_fired)
+            .finish()
+    }
+}
+
+impl<W> Simulator<W> {
+    /// Creates a simulator at time zero owning `world`.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            world,
+            queue: EventQueue::new(),
+            events_fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (outside any event).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule_at(at, action)
+    }
+
+    /// Schedules `action` to fire `delay` after now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        self.queue.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules a recurring event every `period`, first firing `period`
+    /// from now, until `action` returns `false` or the returned handle is
+    /// cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the simulation would never advance).
+    pub fn schedule_every(
+        &mut self,
+        period: SimDuration,
+        action: impl FnMut(&mut W, SimTime) -> bool + 'static,
+    ) -> PeriodicHandle {
+        assert!(!period.is_zero(), "period must be non-zero");
+        let handle = PeriodicHandle::new();
+        fn arm<W>(
+            q: &mut EventQueue<W>,
+            at: SimTime,
+            period: SimDuration,
+            handle: PeriodicHandle,
+            mut action: impl FnMut(&mut W, SimTime) -> bool + 'static,
+        ) {
+            q.schedule_at(at, move |w, q| {
+                if handle.is_cancelled() {
+                    return;
+                }
+                if action(w, at) {
+                    arm(q, at + period, period, handle, action);
+                }
+            });
+        }
+        arm(
+            &mut self.queue,
+            self.now + period,
+            period,
+            handle.clone(),
+            action,
+        );
+        handle
+    }
+
+    /// Cancels a pending event; see [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of live pending events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs all events due at or before `horizon`, then advances the clock
+    /// to `horizon`. Returns the number of events fired.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut fired = 0;
+        while let Some((at, action)) = self.queue.pop_due(horizon) {
+            debug_assert!(at >= self.now, "event in the past");
+            self.now = at;
+            action(&mut self.world, &mut self.queue);
+            fired += 1;
+        }
+        if horizon > self.now && horizon != SimTime::MAX {
+            self.now = horizon;
+        }
+        self.events_fired += fired;
+        fired
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        self.run_until(self.now + span)
+    }
+
+    /// Runs until the queue is exhausted. The clock stops at the last event.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs a single event if one is pending, returning its firing time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, action) = self.queue.pop_due(SimTime::MAX)?;
+        self.now = at;
+        action(&mut self.world, &mut self.queue);
+        self.events_fired += 1;
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_to_horizon_without_events() {
+        let mut sim = Simulator::new(());
+        sim.run_until(SimTime::from_picos(500));
+        assert_eq!(sim.now(), SimTime::from_picos(500));
+    }
+
+    #[test]
+    fn run_to_completion_stops_at_last_event() {
+        let mut sim = Simulator::new(0u32);
+        sim.schedule_in(SimDuration::from_picos(7), |w, _| *w = 1);
+        sim.run_to_completion();
+        assert_eq!(sim.now(), SimTime::from_picos(7));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn periodic_event_runs_until_false() {
+        let mut sim = Simulator::new(Vec::<u64>::new());
+        sim.schedule_every(SimDuration::from_picos(10), |w, t| {
+            w.push(t.as_picos());
+            w.len() < 4
+        });
+        sim.run_to_completion();
+        assert_eq!(*sim.world(), [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn periodic_event_can_be_cancelled() {
+        let mut sim = Simulator::new(0u64);
+        let handle = sim.schedule_every(SimDuration::from_picos(10), |w, _| {
+            *w += 1;
+            true
+        });
+        sim.run_until(SimTime::from_picos(35));
+        assert_eq!(*sim.world(), 3);
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        sim.run_until(SimTime::from_picos(100));
+        assert_eq!(*sim.world(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_in_past_panics() {
+        let mut sim = Simulator::new(());
+        sim.run_until(SimTime::from_picos(100));
+        sim.schedule_at(SimTime::from_picos(50), |_, _| {});
+    }
+
+    #[test]
+    fn nested_scheduling_preserves_order() {
+        let mut sim = Simulator::new(Vec::<&'static str>::new());
+        sim.schedule_in(SimDuration::from_picos(10), |w, q| {
+            w.push("a");
+            q.schedule_at(SimTime::from_picos(15), |w, _| w.push("b"));
+        });
+        sim.schedule_in(SimDuration::from_picos(20), |w, _| w.push("c"));
+        sim.run_to_completion();
+        assert_eq!(*sim.world(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn step_fires_one_event() {
+        let mut sim = Simulator::new(0u32);
+        sim.schedule_in(SimDuration::from_picos(1), |w, _| *w += 1);
+        sim.schedule_in(SimDuration::from_picos(2), |w, _| *w += 1);
+        assert_eq!(sim.step(), Some(SimTime::from_picos(1)));
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.events_fired(), 1);
+        assert_eq!(sim.pending_events(), 1);
+    }
+}

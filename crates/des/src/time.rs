@@ -1,0 +1,407 @@
+//! Simulated time.
+//!
+//! All simulation time in this workspace is measured in integer
+//! **picoseconds** wrapped in [`SimTime`] (an instant) and [`SimDuration`]
+//! (a span). Picosecond resolution lets us express both sub-nanosecond gate
+//! delays (the circuit model) and multi-second benchmark runs (SPEC-style
+//! workloads) in one `u64` without floating point drift: `u64::MAX` ps is
+//! roughly 213 days of simulated time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in picoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_des::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_nanos(5);
+/// assert_eq!(t.as_picos(), 5_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_des::time::SimDuration;
+///
+/// let slice = SimDuration::from_micros(100);
+/// assert_eq!(slice * 10, SimDuration::from_millis(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; no event is ever scheduled here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `picos` picoseconds after the epoch.
+    #[must_use]
+    pub const fn from_picos(picos: u64) -> Self {
+        SimTime(picos)
+    }
+
+    /// Picoseconds since the epoch.
+    #[must_use]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is later than `self`
+    /// (saturating, like [`std::time::Instant::saturating_duration_since`]).
+    #[must_use]
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked advance; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// One picosecond.
+    pub const PICO: SimDuration = SimDuration(1);
+
+    /// Creates a span of `picos` picoseconds.
+    #[must_use]
+    pub const fn from_picos(picos: u64) -> Self {
+        SimDuration(picos)
+    }
+
+    /// Creates a span of `nanos` nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos * 1_000)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000_000)
+    }
+
+    /// Creates a span from a float number of seconds, rounding to the
+    /// nearest picosecond and saturating at the representable range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or NaN.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0, "duration must be non-negative, got {secs}");
+        let ps = (secs * 1e12).round();
+        SimDuration(if ps >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ps as u64
+        })
+    }
+
+    /// The span covered by `cycles` clock cycles at `freq_mhz` megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is zero.
+    #[must_use]
+    pub fn from_cycles(cycles: u64, freq_mhz: u32) -> Self {
+        assert!(freq_mhz > 0, "frequency must be non-zero");
+        // One cycle at f MHz lasts 1e6/f ps.
+        SimDuration(cycles.saturating_mul(1_000_000) / u64::from(freq_mhz))
+    }
+
+    /// Picoseconds in this span.
+    #[must_use]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds in this span (truncating).
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds in this span (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds in this span, as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Whether this span is empty.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// How many whole clock cycles at `freq_mhz` megahertz fit in this span.
+    #[must_use]
+    pub fn cycles_at(self, freq_mhz: u32) -> u64 {
+        self.0.saturating_mul(u64::from(freq_mhz)) / 1_000_000
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    #[must_use]
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is longer than `self`.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    type Output = u64;
+    /// How many times `rhs` fits into `self` (truncating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            return write!(f, "0s");
+        }
+        // Exactly-round values print as integers in the coarsest unit...
+        for (div, unit) in [
+            (1_000_000_000_000, "s"),
+            (1_000_000_000, "ms"),
+            (1_000_000, "us"),
+            (1_000, "ns"),
+        ] {
+            if ps.is_multiple_of(div) {
+                return write!(f, "{}{}", ps / div, unit);
+            }
+        }
+        if ps < 1_000 {
+            return write!(f, "{ps}ps");
+        }
+        // ...everything else scales decimally with three significant
+        // decimals in the largest unit it exceeds.
+        for (div, unit) in [
+            (1_000_000_000_000u64, "s"),
+            (1_000_000_000, "ms"),
+            (1_000_000, "us"),
+            (1_000, "ns"),
+        ] {
+            if ps >= div {
+                return write!(f, "{:.3}{}", ps as f64 / div as f64, unit);
+            }
+        }
+        unreachable!("sub-nanosecond values handled above")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_secs(2).as_picos(), 2_000_000_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_nanos(9).as_picos(), 9_000);
+    }
+
+    #[test]
+    fn cycles_at_1ghz() {
+        // 1 GHz = 1000 MHz: one cycle is 1 ns.
+        let d = SimDuration::from_nanos(10);
+        assert_eq!(d.cycles_at(1_000), 10);
+        assert_eq!(SimDuration::from_cycles(10, 1_000), d);
+    }
+
+    #[test]
+    fn cycles_at_fractional_period() {
+        // 3 GHz: a cycle is 333.33 ps. 1000 cycles occupy 333_333 ps.
+        let d = SimDuration::from_cycles(1_000, 3_000);
+        assert_eq!(d.as_picos(), 333_333);
+        // Round-trip loses at most one cycle to truncation.
+        assert!(d.cycles_at(3_000) >= 999);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_picos(100);
+        let u = t + SimDuration::from_picos(50);
+        assert_eq!(u - t, SimDuration::from_picos(50));
+        assert_eq!(t.saturating_duration_since(u), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1e-12).as_picos(), 1);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_picos(), 500_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(SimDuration::from_secs(1).to_string(), "1s");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5ms");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5us");
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_picos(5).to_string(), "5ps");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn duration_div_duration_counts() {
+        let period = SimDuration::from_micros(10);
+        let total = SimDuration::from_millis(1);
+        assert_eq!(total / period, 100);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total, SimDuration::from_nanos(10));
+    }
+}

@@ -1,0 +1,223 @@
+//! Bounded event tracing.
+//!
+//! Components record human-readable trace records into a [`TraceBuffer`];
+//! tests and the repro binaries inspect them to assert on *sequences* of
+//! behaviour (e.g. "unsafe state detected before restore write issued").
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// High-volume diagnostics.
+    Debug,
+    /// Normal operational records.
+    Info,
+    /// Unexpected but recoverable conditions.
+    Warn,
+    /// Faults, crashes, attack successes.
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulation time the record was emitted.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting component, e.g. `"poll-module"`.
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.source, self.message
+        )
+    }
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// When full, the oldest records are dropped (and counted).
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_des::trace::{TraceBuffer, TraceLevel};
+/// use plugvolt_des::time::SimTime;
+///
+/// let mut tb = TraceBuffer::with_capacity(64);
+/// tb.emit(SimTime::ZERO, TraceLevel::Info, "vr", "voltage settled");
+/// assert_eq!(tb.iter().count(), 1);
+/// assert!(tb.any(|r| r.message.contains("settled")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    min_level: TraceLevel,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            min_level: TraceLevel::Debug,
+        }
+    }
+
+    /// Suppresses records below `level` at emission time.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Emits a record.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            level,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Whether any retained record matches `pred`.
+    pub fn any(&self, pred: impl FnMut(&TraceRecord) -> bool) -> bool {
+        self.records.iter().any(pred)
+    }
+
+    /// Number of records evicted due to capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Removes all retained records (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_picos(ps)
+    }
+
+    #[test]
+    fn records_kept_in_order() {
+        let mut tb = TraceBuffer::with_capacity(8);
+        tb.emit(t(1), TraceLevel::Info, "a", "one");
+        tb.emit(t(2), TraceLevel::Info, "a", "two");
+        let msgs: Vec<_> = tb.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["one", "two"]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut tb = TraceBuffer::with_capacity(2);
+        tb.emit(t(1), TraceLevel::Info, "a", "one");
+        tb.emit(t(2), TraceLevel::Info, "a", "two");
+        tb.emit(t(3), TraceLevel::Info, "a", "three");
+        assert_eq!(tb.dropped(), 1);
+        let msgs: Vec<_> = tb.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["two", "three"]);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut tb = TraceBuffer::with_capacity(8);
+        tb.set_min_level(TraceLevel::Warn);
+        tb.emit(t(1), TraceLevel::Debug, "a", "hidden");
+        tb.emit(t(2), TraceLevel::Error, "a", "shown");
+        assert_eq!(tb.len(), 1);
+        assert!(tb.any(|r| r.message == "shown"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = TraceRecord {
+            at: t(1_000),
+            level: TraceLevel::Warn,
+            source: "vr".into(),
+            message: "late".into(),
+        };
+        assert_eq!(r.to_string(), "[1ns WARN vr] late");
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert!(TraceLevel::Warn < TraceLevel::Error);
+    }
+}

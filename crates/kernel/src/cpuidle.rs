@@ -1,0 +1,172 @@
+//! The cpuidle subsystem: C-state entry/exit with residency accounting.
+//!
+//! The paper frames DVFS around the P-state/C-state spectrum (Sec. 1):
+//! idle cores drop into **C**-states where execution units are power
+//! gated. For the countermeasure this matters twice — an idle core
+//! cannot retire (and therefore cannot fault) instructions, and the
+//! shared rail retreats when demand drops, so idle-aware polling saves
+//! both overhead and energy.
+
+use crate::machine::{Machine, MachineError};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_des::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// C-state levels we model (deeper = more gating, longer wake latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CState {
+    /// Halt: clock gated, instant wake.
+    C1,
+    /// Deeper clock/power gating.
+    C3,
+    /// Core power gated, caches flushed.
+    C6,
+}
+
+impl CState {
+    /// The level byte stored in the core state.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        match self {
+            CState::C1 => 1,
+            CState::C3 => 3,
+            CState::C6 => 6,
+        }
+    }
+
+    /// Exit latency back to executing.
+    #[must_use]
+    pub fn wake_latency(self) -> SimDuration {
+        match self {
+            CState::C1 => SimDuration::from_nanos(500),
+            CState::C3 => SimDuration::from_micros(30),
+            CState::C6 => SimDuration::from_micros(90),
+        }
+    }
+}
+
+/// Per-core idle bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct IdleSlot {
+    state: Option<CState>,
+    entered_at: Option<SimTime>,
+    total_residency: SimDuration,
+    entries: u64,
+}
+
+/// The cpuidle driver for one machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuIdle {
+    slots: Vec<IdleSlot>,
+}
+
+impl CpuIdle {
+    /// Creates the driver for a machine's core count.
+    #[must_use]
+    pub fn new(machine: &Machine) -> Self {
+        CpuIdle {
+            slots: vec![IdleSlot::default(); machine.cpu().core_count()],
+        }
+    }
+
+    /// Parks `core` in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn enter(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        state: CState,
+    ) -> Result<(), MachineError> {
+        let now = machine.now();
+        machine.cpu_mut().enter_idle(now, core, state.level())?;
+        if let Some(slot) = self.slots.get_mut(core.0) {
+            slot.state = Some(state);
+            slot.entered_at = Some(now);
+            slot.entries += 1;
+        }
+        Ok(())
+    }
+
+    /// Wakes `core`, paying the C-state's exit latency on the machine
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn wake(&mut self, machine: &mut Machine, core: CoreId) -> Result<(), MachineError> {
+        let latency = self
+            .slots
+            .get(core.0)
+            .and_then(|s| s.state)
+            .map_or(SimDuration::ZERO, CState::wake_latency);
+        machine.advance(latency);
+        let now = machine.now();
+        machine.cpu_mut().wake_core(now, core)?;
+        if let Some(slot) = self.slots.get_mut(core.0) {
+            if let Some(entered) = slot.entered_at.take() {
+                slot.total_residency += now.saturating_duration_since(entered);
+            }
+            slot.state = None;
+        }
+        Ok(())
+    }
+
+    /// Cumulative idle residency of `core`.
+    #[must_use]
+    pub fn residency(&self, core: CoreId) -> SimDuration {
+        self.slots
+            .get(core.0)
+            .map_or(SimDuration::ZERO, |s| s.total_residency)
+    }
+
+    /// Number of idle entries on `core`.
+    #[must_use]
+    pub fn entries(&self, core: CoreId) -> u64 {
+        self.slots.get(core.0).map_or(0, |s| s.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+
+    #[test]
+    fn enter_and_wake_track_residency() {
+        let mut m = Machine::new(CpuModel::KabyLakeR, 13);
+        let mut idle = CpuIdle::new(&m);
+        idle.enter(&mut m, CoreId(0), CState::C6).unwrap();
+        assert!(!m.cpu().is_core_running(CoreId(0)).unwrap());
+        m.advance(SimDuration::from_millis(2));
+        idle.wake(&mut m, CoreId(0)).unwrap();
+        assert!(m.cpu().is_core_running(CoreId(0)).unwrap());
+        // Residency = 2 ms sleep + 90 µs exit latency.
+        let r = idle.residency(CoreId(0));
+        assert!(r >= SimDuration::from_millis(2), "r={r}");
+        assert!(r <= SimDuration::from_micros(2_200), "r={r}");
+        assert_eq!(idle.entries(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn wake_latency_ordering() {
+        assert!(CState::C1.wake_latency() < CState::C3.wake_latency());
+        assert!(CState::C3.wake_latency() < CState::C6.wake_latency());
+    }
+
+    #[test]
+    fn all_idle_drops_package_power() {
+        let mut m = Machine::new(CpuModel::KabyLakeR, 13);
+        let mut idle = CpuIdle::new(&m);
+        let spec = m.cpu().spec().clone();
+        for c in 0..m.cpu().core_count() {
+            idle.enter(&mut m, CoreId(c), CState::C6).unwrap();
+        }
+        m.advance(SimDuration::from_millis(60)); // rail retreats
+        let v = m.cpu().core_voltage_mv(m.now());
+        let min_nominal = spec.nominal_voltage_mv(spec.freq_table.min());
+        assert!((v - min_nominal).abs() < 1.0, "v={v}");
+    }
+}

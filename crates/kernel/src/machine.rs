@@ -1,0 +1,672 @@
+//! The machine: a CPU package under a minimal kernel.
+//!
+//! [`Machine`] owns the simulated clock, the [`CpuPackage`], and a set of
+//! loadable [`KernelModule`]s with kernel-timer semantics — the substrate
+//! the paper's countermeasure is deployed on. Modules steal core time
+//! when their timers run (the source of the Table 2 overhead), and all
+//! MSR traffic they issue is cost-accounted (IPI to the target core plus
+//! the `rdmsr`/`wrmsr` microcode flow; the paper's Sec. 5 names this
+//! ioctl/MSR path as one contributor to countermeasure turnaround time).
+
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::exec::InstrClass;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_cpu::package::{CpuPackage, PackageError};
+use plugvolt_des::rng::SimRng;
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_des::trace::{TraceBuffer, TraceLevel};
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::file::WriteOutcome;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Cross-core IPI cost for a remote MSR access from kernel context.
+pub const IPI_COST: SimDuration = SimDuration::from_nanos(1_900);
+
+/// Errors from machine-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Underlying package error.
+    Package(PackageError),
+    /// A module with this name is already loaded.
+    ModuleLoaded(String),
+    /// No module with this name is loaded.
+    ModuleNotLoaded(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Package(e) => write!(f, "{e}"),
+            MachineError::ModuleLoaded(n) => write!(f, "module '{n}' already loaded"),
+            MachineError::ModuleNotLoaded(n) => write!(f, "module '{n}' not loaded"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<PackageError> for MachineError {
+    fn from(e: PackageError) -> Self {
+        MachineError::Package(e)
+    }
+}
+
+/// Context handed to a module while its timer runs.
+///
+/// All MSR accesses through the context are **cost-accounted**: they
+/// consume time on the accessed core (IPI + microcode flow), which is
+/// how the polling countermeasure's overhead arises.
+pub struct ModuleCtx<'a> {
+    now: SimTime,
+    cpu: &'a mut CpuPackage,
+    trace: &'a mut TraceBuffer,
+    stolen: &'a mut [SimDuration],
+    module_name: &'a str,
+}
+
+impl fmt::Debug for ModuleCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModuleCtx")
+            .field("now", &self.now)
+            .field("module", &self.module_name)
+            .finish()
+    }
+}
+
+impl ModuleCtx<'_> {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the package (frequency tables, specs…).
+    #[must_use]
+    pub fn cpu(&self) -> &CpuPackage {
+        self.cpu
+    }
+
+    /// Cost-accounted `rdmsr` on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackageError`].
+    pub fn rdmsr(&mut self, core: CoreId, msr: Msr) -> Result<u64, PackageError> {
+        self.charge(core, self.access_cost(core));
+        self.cpu.rdmsr(self.now, core, msr)
+    }
+
+    /// Cost-accounted `wrmsr` on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackageError`].
+    pub fn wrmsr(
+        &mut self,
+        core: CoreId,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, PackageError> {
+        self.charge(core, self.access_cost(core));
+        self.cpu.wrmsr(self.now, core, msr, value)
+    }
+
+    /// Cost-accounted `rdmsr` from a **per-CPU timer context** on `core`
+    /// itself: no IPI, only the microcode flow (plus the timer-interrupt
+    /// overhead charged separately by the module).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackageError`].
+    pub fn rdmsr_local(&mut self, core: CoreId, msr: Msr) -> Result<u64, PackageError> {
+        self.charge(core, self.local_access_cost(core));
+        self.cpu.rdmsr(self.now, core, msr)
+    }
+
+    /// Cost-accounted `wrmsr` from a per-CPU timer context on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackageError`].
+    pub fn wrmsr_local(
+        &mut self,
+        core: CoreId,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, PackageError> {
+        self.charge(core, self.local_access_cost(core));
+        self.cpu.wrmsr(self.now, core, msr, value)
+    }
+
+    fn local_access_cost(&self, core: CoreId) -> SimDuration {
+        let freq = self
+            .cpu
+            .core_freq(core)
+            .unwrap_or(self.cpu.spec().base_freq);
+        self.cpu.engine().msr_access_duration(freq)
+    }
+
+    /// Charges pure compute time (comparisons, set lookups) to a core.
+    pub fn charge(&mut self, core: CoreId, cost: SimDuration) {
+        if let Some(slot) = self.stolen.get_mut(core.0) {
+            *slot += cost;
+        }
+    }
+
+    /// Emits a trace record attributed to this module.
+    pub fn trace(&mut self, level: TraceLevel, message: impl Into<String>) {
+        self.trace.emit(self.now, level, self.module_name, message);
+    }
+
+    fn access_cost(&self, core: CoreId) -> SimDuration {
+        let freq = self
+            .cpu
+            .core_freq(core)
+            .unwrap_or(self.cpu.spec().base_freq);
+        IPI_COST + self.cpu.engine().msr_access_duration(freq)
+    }
+}
+
+/// A loadable kernel module with timer-driven work.
+pub trait KernelModule {
+    /// Unique module name (what `lsmod` would show).
+    fn name(&self) -> &str;
+
+    /// Called at load; returns the delay until the first timer firing, or
+    /// `None` for a module with no timer.
+    fn init(&mut self, ctx: &mut ModuleCtx<'_>) -> Option<SimDuration>;
+
+    /// Called when the timer fires; returns the delay until the next
+    /// firing, or `None` to stop the timer.
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>) -> Option<SimDuration>;
+
+    /// Called at unload.
+    fn exit(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+struct PendingTimer {
+    at: SimTime,
+    seq: u64,
+    module_idx: usize,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct ModuleSlot {
+    module: Option<Box<dyn KernelModule>>,
+    name: String,
+    live: bool,
+}
+
+/// Result of running a workload batch on a core (see
+/// [`Machine::run_workload`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadRun {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Architecturally incorrect results among them.
+    pub faults: u64,
+    /// Wall-clock time consumed, including time stolen by modules.
+    pub wall: SimDuration,
+    /// Time stolen from this core by kernel modules during the run.
+    pub stolen: SimDuration,
+}
+
+/// A CPU package under a minimal kernel, on a simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_kernel::machine::Machine;
+/// use plugvolt_cpu::model::CpuModel;
+/// use plugvolt_des::time::SimDuration;
+///
+/// let mut m = Machine::new(CpuModel::CometLake, 1);
+/// m.advance(SimDuration::from_millis(5));
+/// assert_eq!(m.now().as_picos(), 5_000_000_000);
+/// ```
+pub struct Machine {
+    now: SimTime,
+    cpu: CpuPackage,
+    modules: Vec<ModuleSlot>,
+    timers: BinaryHeap<PendingTimer>,
+    timer_seq: u64,
+    trace: TraceBuffer,
+    stolen: Vec<SimDuration>,
+    rng: SimRng,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("cpu", &self.cpu)
+            .field("modules", &self.loaded_modules().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Boots a machine with the given CPU model and deterministic seed.
+    #[must_use]
+    pub fn new(model: CpuModel, seed: u64) -> Self {
+        Self::from_package(CpuPackage::new(model, seed), seed)
+    }
+
+    /// Boots physical *unit* `unit` of the model (die-to-die variation).
+    #[must_use]
+    pub fn new_unit(model: CpuModel, seed: u64, unit: u64) -> Self {
+        Self::from_package(CpuPackage::new_unit(model, seed, unit), seed)
+    }
+
+    /// Boots a machine around an explicit package.
+    #[must_use]
+    pub fn from_package(cpu: CpuPackage, seed: u64) -> Self {
+        let cores = cpu.core_count();
+        Machine {
+            now: SimTime::ZERO,
+            cpu,
+            modules: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            trace: TraceBuffer::with_capacity(16_384),
+            stolen: vec![SimDuration::ZERO; cores],
+            rng: SimRng::from_seed_label(seed, "machine"),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The CPU package.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuPackage {
+        &self.cpu
+    }
+
+    /// Mutable access to the CPU package — the "privileged software"
+    /// escape hatch attacks use (direct `wrmsr` etc. are methods on the
+    /// package and need the current time; pair with [`now`](Self::now)).
+    pub fn cpu_mut(&mut self) -> &mut CpuPackage {
+        &mut self.cpu
+    }
+
+    /// The machine trace (modules, faults, countermeasure actions).
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Deterministic per-machine random stream (for workload jitter).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Cumulative module-stolen time per core since boot.
+    #[must_use]
+    pub fn stolen_time(&self, core: CoreId) -> SimDuration {
+        self.stolen
+            .get(core.0)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Names of loaded modules (what the SGX attestation report lists).
+    pub fn loaded_modules(&self) -> impl Iterator<Item = &str> {
+        self.modules
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.name.as_str())
+    }
+
+    /// Whether the named module is loaded.
+    #[must_use]
+    pub fn is_module_loaded(&self, name: &str) -> bool {
+        self.loaded_modules().any(|n| n == name)
+    }
+
+    /// Loads a kernel module (`insmod`), running its `init`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::ModuleLoaded`] if a module of that name is live.
+    pub fn load_module(&mut self, module: Box<dyn KernelModule>) -> Result<(), MachineError> {
+        let name = module.name().to_owned();
+        if self.is_module_loaded(&name) {
+            return Err(MachineError::ModuleLoaded(name));
+        }
+        let idx = self.modules.len();
+        self.modules.push(ModuleSlot {
+            module: Some(module),
+            name: name.clone(),
+            live: true,
+        });
+        self.trace.emit(
+            self.now,
+            TraceLevel::Info,
+            "kernel",
+            format!("insmod {name}"),
+        );
+        if let Some(delay) = self.with_module(idx, |m, ctx| m.init(ctx)) {
+            self.arm_timer(idx, delay);
+        }
+        Ok(())
+    }
+
+    /// Unloads a module (`rmmod`), running its `exit` and cancelling its
+    /// timers. This is the adversary capability discussed in Sec. 4.1 —
+    /// visible in the attestation report.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::ModuleNotLoaded`] if no such module is live.
+    pub fn unload_module(&mut self, name: &str) -> Result<(), MachineError> {
+        let idx = self
+            .modules
+            .iter()
+            .position(|s| s.live && s.name == name)
+            .ok_or_else(|| MachineError::ModuleNotLoaded(name.to_owned()))?;
+        self.with_module(idx, |m, ctx| {
+            m.exit(ctx);
+        });
+        self.modules[idx].live = false;
+        self.trace.emit(
+            self.now,
+            TraceLevel::Info,
+            "kernel",
+            format!("rmmod {name}"),
+        );
+        Ok(())
+    }
+
+    fn arm_timer(&mut self, module_idx: usize, delay: SimDuration) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(PendingTimer {
+            at: self.now + delay,
+            seq,
+            module_idx,
+        });
+    }
+
+    fn with_module<R>(
+        &mut self,
+        idx: usize,
+        f: impl FnOnce(&mut Box<dyn KernelModule>, &mut ModuleCtx<'_>) -> R,
+    ) -> R {
+        let mut module = self.modules[idx].module.take().expect("module re-entered");
+        let mut ctx = ModuleCtx {
+            now: self.now,
+            cpu: &mut self.cpu,
+            trace: &mut self.trace,
+            stolen: &mut self.stolen,
+            module_name: &self.modules[idx].name,
+        };
+        let r = f(&mut module, &mut ctx);
+        self.modules[idx].module = Some(module);
+        r
+    }
+
+    /// Advances the clock to `horizon`, firing due module timers in order.
+    pub fn advance_to(&mut self, horizon: SimTime) {
+        while let Some(t) = self.timers.peek() {
+            if t.at > horizon {
+                break;
+            }
+            let timer = self.timers.pop().expect("peeked timer vanished");
+            if !self.modules[timer.module_idx].live {
+                continue;
+            }
+            self.now = timer.at;
+            if let Some(next) = self.with_module(timer.module_idx, |m, ctx| m.on_timer(ctx)) {
+                self.arm_timer(timer.module_idx, next);
+            }
+        }
+        if horizon > self.now {
+            self.now = horizon;
+        }
+    }
+
+    /// Advances the clock by `span`.
+    pub fn advance(&mut self, span: SimDuration) {
+        self.advance_to(self.now + span);
+    }
+
+    /// Runs `iters` instructions of `class` on `core` starting now,
+    /// interleaved with module timers; the core only makes progress when
+    /// no module work is stealing it. Returns the retired/fault/steal
+    /// accounting — the primitive behind the SPEC-style overhead runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a package crash.
+    pub fn run_workload(
+        &mut self,
+        core: CoreId,
+        class: InstrClass,
+        iters: u64,
+    ) -> Result<WorkloadRun, MachineError> {
+        let started = self.now;
+        let stolen_before = self.stolen_time(core);
+        let mut remaining = iters;
+        let mut faults = 0u64;
+        loop {
+            let freq = self.cpu.core_freq(core)?;
+            // Loop invariant we maintain: now == started + work_time(done)
+            // + steal accrued on this core. Catch up first if module work
+            // just pushed us behind that line.
+            let accrued = self.stolen_time(core).saturating_sub(stolen_before);
+            let done = iters - remaining;
+            let work_time = self.cpu.engine().batch_duration(class, done, freq);
+            let target = started + work_time + accrued;
+            if target > self.now {
+                self.advance_to(target);
+                continue; // re-evaluate: the catch-up may have fired timers
+            }
+            if remaining == 0 {
+                break;
+            }
+            let full = self.cpu.engine().batch_duration(class, remaining, freq);
+            let next_timer = self.timers.peek().map(|t| t.at);
+            match next_timer {
+                Some(t) if t < self.now + full => {
+                    // Run the part of the batch that fits before the timer.
+                    let slice = t.saturating_duration_since(self.now);
+                    let cycles = slice.cycles_at(freq.mhz());
+                    let n = ((cycles as f64 / class.cpi()).floor() as u64).min(remaining);
+                    if n > 0 {
+                        faults += self.cpu.run_batch(self.now, core, class, n)?;
+                        remaining -= n;
+                    }
+                    self.advance_to(t); // fires the timer, accrues steal
+                }
+                _ => {
+                    faults += self.cpu.run_batch(self.now, core, class, remaining)?;
+                    remaining = 0;
+                    self.advance_to(self.now + full);
+                }
+            }
+        }
+        let stolen = self.stolen_time(core).saturating_sub(stolen_before);
+        Ok(WorkloadRun {
+            instructions: iters,
+            faults,
+            wall: self.now.saturating_duration_since(started),
+            stolen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TickModule {
+        period: SimDuration,
+        cost: SimDuration,
+        ticks: u64,
+    }
+
+    impl KernelModule for TickModule {
+        fn name(&self) -> &str {
+            "tick"
+        }
+        fn init(&mut self, _ctx: &mut ModuleCtx<'_>) -> Option<SimDuration> {
+            Some(self.period)
+        }
+        fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>) -> Option<SimDuration> {
+            self.ticks += 1;
+            for c in 0..ctx.cpu().core_count() {
+                ctx.charge(CoreId(c), self.cost);
+            }
+            Some(self.period)
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::new(CpuModel::CometLake, 5)
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut m = machine();
+        m.advance(SimDuration::from_micros(100));
+        assert_eq!(m.now(), SimTime::ZERO + SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn module_load_unload_lifecycle() {
+        let mut m = machine();
+        assert!(!m.is_module_loaded("tick"));
+        m.load_module(Box::new(TickModule {
+            period: SimDuration::from_millis(1),
+            cost: SimDuration::from_micros(2),
+            ticks: 0,
+        }))
+        .unwrap();
+        assert!(m.is_module_loaded("tick"));
+        // Double-load is rejected.
+        let err = m
+            .load_module(Box::new(TickModule {
+                period: SimDuration::from_millis(1),
+                cost: SimDuration::ZERO,
+                ticks: 0,
+            }))
+            .unwrap_err();
+        assert_eq!(err, MachineError::ModuleLoaded("tick".into()));
+        m.unload_module("tick").unwrap();
+        assert!(!m.is_module_loaded("tick"));
+        assert_eq!(
+            m.unload_module("tick"),
+            Err(MachineError::ModuleNotLoaded("tick".into()))
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_steal_time() {
+        let mut m = machine();
+        m.load_module(Box::new(TickModule {
+            period: SimDuration::from_millis(1),
+            cost: SimDuration::from_micros(2),
+            ticks: 0,
+        }))
+        .unwrap();
+        m.advance(SimDuration::from_millis(10));
+        // 10 ticks × 2 µs stolen per core.
+        assert_eq!(m.stolen_time(CoreId(0)), SimDuration::from_micros(20));
+        assert_eq!(m.stolen_time(CoreId(3)), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn unloaded_module_timers_stop() {
+        let mut m = machine();
+        m.load_module(Box::new(TickModule {
+            period: SimDuration::from_millis(1),
+            cost: SimDuration::from_micros(2),
+            ticks: 0,
+        }))
+        .unwrap();
+        m.advance(SimDuration::from_millis(3));
+        m.unload_module("tick").unwrap();
+        let stolen = m.stolen_time(CoreId(0));
+        m.advance(SimDuration::from_millis(10));
+        assert_eq!(m.stolen_time(CoreId(0)), stolen);
+    }
+
+    #[test]
+    fn workload_without_modules_runs_at_full_rate() {
+        let mut m = machine();
+        let run = m
+            .run_workload(CoreId(0), InstrClass::Imul, 1_000_000)
+            .unwrap();
+        assert_eq!(run.instructions, 1_000_000);
+        assert_eq!(run.faults, 0);
+        assert_eq!(run.stolen, SimDuration::ZERO);
+        // 1M imul at CPI 1, 1.8 GHz base → ≈ 555 µs.
+        let expect = SimDuration::from_cycles(1_000_000, 1_800);
+        let diff = run.wall.saturating_sub(expect) + expect.saturating_sub(run.wall);
+        assert!(diff < SimDuration::from_micros(5), "wall={}", run.wall);
+    }
+
+    #[test]
+    fn workload_with_module_pays_overhead() {
+        let mut m = machine();
+        m.load_module(Box::new(TickModule {
+            period: SimDuration::from_millis(1),
+            cost: SimDuration::from_micros(5),
+            ticks: 0,
+        }))
+        .unwrap();
+        // A long run: 100M ALU ops ≈ 13.9 ms at 1.8 GHz.
+        let run = m
+            .run_workload(CoreId(0), InstrClass::AluAdd, 100_000_000)
+            .unwrap();
+        assert!(run.stolen > SimDuration::ZERO);
+        // Overhead ratio ≈ 5 µs/ms = 0.5 %.
+        let ratio = run.stolen.as_picos() as f64 / run.wall.as_picos() as f64;
+        assert!((0.002..0.008).contains(&ratio), "ratio={ratio}");
+        // Wall = compute + stolen, within slice rounding.
+        let compute = run.wall.saturating_sub(run.stolen);
+        let pure = SimDuration::from_cycles(25_000_000, 1_800);
+        let diff = compute.saturating_sub(pure) + pure.saturating_sub(compute);
+        assert!(
+            diff < SimDuration::from_micros(50),
+            "compute={compute} pure={pure}"
+        );
+    }
+
+    #[test]
+    fn trace_records_module_lifecycle() {
+        let mut m = machine();
+        m.load_module(Box::new(TickModule {
+            period: SimDuration::from_millis(1),
+            cost: SimDuration::ZERO,
+            ticks: 0,
+        }))
+        .unwrap();
+        m.unload_module("tick").unwrap();
+        assert!(m.trace().any(|r| r.message == "insmod tick"));
+        assert!(m.trace().any(|r| r.message == "rmmod tick"));
+    }
+}

@@ -1,0 +1,131 @@
+//! The `/dev/cpu/<n>/msr` userspace interface (Intel msr-tools path).
+//!
+//! Attacks in the literature drive MSR 0x150 from userspace through the
+//! `msr` character device: each access is an `open`/`ioctl`-style syscall
+//! plus the in-kernel `rdmsr`/`wrmsr`. This costs microseconds — one of
+//! the two turnaround-time contributors the paper's Sec. 5 lists (the
+//! other being VR settle). Kernel modules bypass the syscall layer and
+//! pay only the IPI + microcode-flow cost.
+
+use crate::machine::{Machine, MachineError};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_des::time::SimDuration;
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::file::WriteOutcome;
+
+/// Syscall entry/exit plus ioctl dispatch overhead of one msr-dev access.
+pub const SYSCALL_COST: SimDuration = SimDuration::from_nanos(1_400);
+
+/// A userspace handle on `/dev/cpu/<core>/msr`.
+///
+/// All accesses advance the machine clock by the syscall plus MSR flow
+/// cost, so an attack's wrmsr lands *later* than the instant it is
+/// issued, exactly the latency a real attacker pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsrDev {
+    core: CoreId,
+}
+
+impl MsrDev {
+    /// Opens the device for `core`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError`] if the core does not exist.
+    pub fn open(machine: &Machine, core: CoreId) -> Result<Self, MachineError> {
+        machine.cpu().core_freq(core)?; // existence check
+        Ok(MsrDev { core })
+    }
+
+    /// The core this device addresses.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    fn access_cost(&self, machine: &Machine) -> SimDuration {
+        let freq = machine
+            .cpu()
+            .core_freq(self.core)
+            .unwrap_or(machine.cpu().spec().base_freq);
+        SYSCALL_COST + machine.cpu().engine().msr_access_duration(freq)
+    }
+
+    /// Userspace `rdmsr`: pays the syscall + flow cost, then reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors (crash, `#GP`).
+    pub fn read(&self, machine: &mut Machine, msr: Msr) -> Result<u64, MachineError> {
+        let cost = self.access_cost(machine);
+        machine.advance(cost);
+        let now = machine.now();
+        Ok(machine.cpu_mut().rdmsr(now, self.core, msr)?)
+    }
+
+    /// Userspace `wrmsr`: pays the syscall + flow cost, then writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors (crash, `#GP`, write faults).
+    pub fn write(
+        &self,
+        machine: &mut Machine,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, MachineError> {
+        let cost = self.access_cost(machine);
+        machine.advance(cost);
+        let now = machine.now();
+        Ok(machine.cpu_mut().wrmsr(now, self.core, msr, value)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::model::CpuModel;
+    use plugvolt_cpu::package::PackageError;
+    use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+
+    #[test]
+    fn open_checks_core() {
+        let m = Machine::new(CpuModel::CometLake, 4);
+        assert!(MsrDev::open(&m, CoreId(0)).is_ok());
+        assert!(matches!(
+            MsrDev::open(&m, CoreId(99)),
+            Err(MachineError::Package(PackageError::NoSuchCore(_)))
+        ));
+    }
+
+    #[test]
+    fn accesses_advance_time() {
+        let mut m = Machine::new(CpuModel::CometLake, 4);
+        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let t0 = m.now();
+        dev.read(&mut m, Msr::IA32_PERF_STATUS).unwrap();
+        let t1 = m.now();
+        assert!(t1 > t0);
+        // Syscall + 250 cycles at 1.8 GHz ≈ 1.4 µs + 139 ns.
+        let cost = t1.saturating_duration_since(t0);
+        assert!(cost >= SYSCALL_COST, "cost={cost}");
+        assert!(cost < SimDuration::from_micros(3), "cost={cost}");
+    }
+
+    #[test]
+    fn write_reaches_the_mailbox() {
+        let mut m = Machine::new(CpuModel::CometLake, 4);
+        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let raw = OcRequest::write_offset(-125, Plane::Core).encode();
+        let out = dev.write(&mut m, Msr::OC_MAILBOX, raw).unwrap();
+        assert!(out.was_written());
+        assert_eq!(m.cpu().core_offset_mv(), -125);
+    }
+
+    #[test]
+    fn unknown_msr_propagates_gp() {
+        let mut m = Machine::new(CpuModel::CometLake, 4);
+        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        assert!(dev.read(&mut m, Msr(0x7777)).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! A cooperative, time-sliced thread scheduler over the machine.
+//!
+//! The paper's characterization framework runs a *DVFS thread* and an
+//! *EXECUTE thread* concurrently; attack campaigns pair adversary and
+//! victim loops. This scheduler expresses such structures directly:
+//! threads are spawned per core and executed in rounds — every round,
+//! each core's front thread receives one quantum, then the global clock
+//! advances by the quantum (firing kernel-module timers). Within a round
+//! the threads' machine operations are applied sequentially but
+//! represent concurrent execution in the same window, which is exact for
+//! the instantaneous state changes (MSR writes, batch retirements) the
+//! simulation deals in.
+
+use crate::machine::{Machine, MachineError};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_des::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What a thread wants after consuming (part of) its quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Yield {
+    /// Runnable again next round.
+    Ready,
+    /// Sleep for at least this long before running again.
+    Sleep(SimDuration),
+    /// Finished; remove from the scheduler.
+    Done,
+}
+
+/// A schedulable activity.
+pub trait SimThread {
+    /// Thread name (for diagnostics).
+    fn name(&self) -> &str;
+
+    /// Runs up to one `quantum` of work on `core` at the current machine
+    /// time, returning what to do next.
+    ///
+    /// # Errors
+    ///
+    /// Machine errors abort the whole schedule (a crashed package is the
+    /// caller's to handle).
+    fn run(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        quantum: SimDuration,
+    ) -> Result<Yield, MachineError>;
+}
+
+struct Task {
+    thread: Box<dyn SimThread>,
+    wake_at: SimTime,
+}
+
+/// The scheduler: per-core round-robin queues on a shared quantum.
+pub struct Scheduler {
+    quantum: SimDuration,
+    queues: Vec<VecDeque<Task>>,
+    rounds: u64,
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("quantum", &self.quantum)
+            .field("rounds", &self.rounds)
+            .field(
+                "tasks",
+                &self.queues.iter().map(VecDeque::len).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `machine` with the given time quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    #[must_use]
+    pub fn new(machine: &Machine, quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be non-zero");
+        Scheduler {
+            quantum,
+            queues: (0..machine.cpu().core_count())
+                .map(|_| VecDeque::new())
+                .collect(),
+            rounds: 0,
+        }
+    }
+
+    /// Spawns a thread pinned to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn spawn_on(&mut self, core: CoreId, thread: Box<dyn SimThread>) {
+        self.queues[core.0].push_back(Task {
+            thread,
+            wake_at: SimTime::ZERO,
+        });
+    }
+
+    /// Number of live threads.
+    #[must_use]
+    pub fn live_threads(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Runs rounds until `horizon` or until every thread is done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first thread error (machine crash etc.); remaining
+    /// threads stay queued so the caller can reset and resume.
+    pub fn run_until(
+        &mut self,
+        machine: &mut Machine,
+        horizon: SimTime,
+    ) -> Result<(), MachineError> {
+        while machine.now() < horizon && self.live_threads() > 0 {
+            let round_start = machine.now();
+            self.rounds += 1;
+            for core_idx in 0..self.queues.len() {
+                // Rotate to the first runnable (awake) task, if any.
+                let queue_len = self.queues[core_idx].len();
+                let mut picked = None;
+                for _ in 0..queue_len {
+                    let task = self.queues[core_idx].pop_front().expect("len checked");
+                    if task.wake_at <= round_start {
+                        picked = Some(task);
+                        break;
+                    }
+                    self.queues[core_idx].push_back(task);
+                }
+                let Some(mut task) = picked else { continue };
+                match task.thread.run(machine, CoreId(core_idx), self.quantum) {
+                    Ok(Yield::Ready) => self.queues[core_idx].push_back(task),
+                    Ok(Yield::Sleep(d)) => {
+                        task.wake_at = round_start + d;
+                        self.queues[core_idx].push_back(task);
+                    }
+                    Ok(Yield::Done) => {}
+                    Err(e) => {
+                        self.queues[core_idx].push_back(task);
+                        return Err(e);
+                    }
+                }
+            }
+            // One quantum per round; module timers fire inside advance.
+            machine.advance_to(round_start + self.quantum);
+        }
+        Ok(())
+    }
+
+    /// Runs until all threads finish (no horizon).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread errors.
+    pub fn run_to_completion(&mut self, machine: &mut Machine) -> Result<(), MachineError> {
+        self.run_until(machine, SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plugvolt_cpu::exec::InstrClass;
+    use plugvolt_cpu::model::CpuModel;
+
+    /// A thread that retires `remaining` instructions of a class.
+    struct Worker {
+        class: InstrClass,
+        remaining: u64,
+        faults: u64,
+        finished_at: Option<SimTime>,
+    }
+
+    impl SimThread for Worker {
+        fn name(&self) -> &str {
+            "worker"
+        }
+        fn run(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            quantum: SimDuration,
+        ) -> Result<Yield, MachineError> {
+            let freq = machine.cpu().core_freq(core)?;
+            let fit = (quantum.cycles_at(freq.mhz()) as f64 / self.class.cpi()) as u64;
+            let n = fit.min(self.remaining).max(1);
+            let now = machine.now();
+            self.faults += machine.cpu_mut().run_batch(now, core, self.class, n)?;
+            self.remaining -= n.min(self.remaining);
+            if self.remaining == 0 {
+                self.finished_at = Some(machine.now());
+                Ok(Yield::Done)
+            } else {
+                Ok(Yield::Ready)
+            }
+        }
+    }
+
+    struct Sleeper {
+        naps: u32,
+        log: Vec<SimTime>,
+    }
+
+    impl SimThread for Sleeper {
+        fn name(&self) -> &str {
+            "sleeper"
+        }
+        fn run(
+            &mut self,
+            machine: &mut Machine,
+            _core: CoreId,
+            _quantum: SimDuration,
+        ) -> Result<Yield, MachineError> {
+            self.log.push(machine.now());
+            if self.log.len() as u32 > self.naps {
+                Ok(Yield::Done)
+            } else {
+                Ok(Yield::Sleep(SimDuration::from_millis(1)))
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_workers_share_wall_clock() {
+        // Two equal workers on two cores must finish in ≈ the time one
+        // worker needs — that is what per-core parallelism means.
+        let mut m = Machine::new(CpuModel::CometLake, 41);
+        let mut sched = Scheduler::new(&m, SimDuration::from_micros(100));
+        for c in [0, 1] {
+            sched.spawn_on(
+                CoreId(c),
+                Box::new(Worker {
+                    class: InstrClass::AluAdd,
+                    remaining: 10_000_000,
+                    faults: 0,
+                    finished_at: None,
+                }),
+            );
+        }
+        sched.run_to_completion(&mut m).unwrap();
+        // 10M ALU at CPI 0.25 and 1.8 GHz ≈ 1.39 ms.
+        let expect = SimDuration::from_cycles(2_500_000, 1_800);
+        let wall = m.now().saturating_duration_since(SimTime::ZERO);
+        assert!(
+            wall < expect * 2,
+            "two cores took {wall}, sequential would be {}",
+            expect * 2
+        );
+        assert!(
+            wall + SimDuration::from_micros(200) >= expect,
+            "wall={wall}"
+        );
+        assert_eq!(sched.live_threads(), 0);
+    }
+
+    #[test]
+    fn round_robin_interleaves_same_core_threads() {
+        // Two workers on ONE core take twice as long as one.
+        let solo = {
+            let mut m = Machine::new(CpuModel::CometLake, 41);
+            let mut sched = Scheduler::new(&m, SimDuration::from_micros(100));
+            sched.spawn_on(
+                CoreId(0),
+                Box::new(Worker {
+                    class: InstrClass::AluAdd,
+                    remaining: 5_000_000,
+                    faults: 0,
+                    finished_at: None,
+                }),
+            );
+            sched.run_to_completion(&mut m).unwrap();
+            m.now()
+        };
+        let duo = {
+            let mut m = Machine::new(CpuModel::CometLake, 41);
+            let mut sched = Scheduler::new(&m, SimDuration::from_micros(100));
+            for _ in 0..2 {
+                sched.spawn_on(
+                    CoreId(0),
+                    Box::new(Worker {
+                        class: InstrClass::AluAdd,
+                        remaining: 5_000_000,
+                        faults: 0,
+                        finished_at: None,
+                    }),
+                );
+            }
+            sched.run_to_completion(&mut m).unwrap();
+            m.now()
+        };
+        let ratio = duo.as_picos() as f64 / solo.as_picos() as f64;
+        assert!((1.8..2.3).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn sleeping_threads_wake_on_time() {
+        let mut m = Machine::new(CpuModel::CometLake, 41);
+        let mut sched = Scheduler::new(&m, SimDuration::from_micros(100));
+        sched.spawn_on(
+            CoreId(2),
+            Box::new(Sleeper {
+                naps: 3,
+                log: Vec::new(),
+            }),
+        );
+        sched.run_to_completion(&mut m).unwrap();
+        // Four invocations, ≥1 ms apart.
+        assert!(m.now() >= SimTime::ZERO + SimDuration::from_millis(3));
+        assert_eq!(sched.live_threads(), 0);
+        assert!(sched.rounds() > 30);
+    }
+
+    #[test]
+    fn horizon_stops_an_endless_thread() {
+        struct Forever;
+        impl SimThread for Forever {
+            fn name(&self) -> &str {
+                "forever"
+            }
+            fn run(
+                &mut self,
+                _machine: &mut Machine,
+                _core: CoreId,
+                _quantum: SimDuration,
+            ) -> Result<Yield, MachineError> {
+                Ok(Yield::Ready)
+            }
+        }
+        let mut m = Machine::new(CpuModel::CometLake, 41);
+        let mut sched = Scheduler::new(&m, SimDuration::from_micros(50));
+        sched.spawn_on(CoreId(0), Box::new(Forever));
+        sched
+            .run_until(&mut m, SimTime::ZERO + SimDuration::from_millis(1))
+            .unwrap();
+        assert_eq!(m.now(), SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(sched.live_threads(), 1, "thread still queued");
+    }
+
+    #[test]
+    fn module_timers_fire_between_rounds() {
+        use crate::machine::{KernelModule, ModuleCtx};
+        struct Ticker {
+            ticks: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl KernelModule for Ticker {
+            fn name(&self) -> &str {
+                "ticker"
+            }
+            fn init(&mut self, _ctx: &mut ModuleCtx<'_>) -> Option<SimDuration> {
+                Some(SimDuration::from_micros(200))
+            }
+            fn on_timer(&mut self, _ctx: &mut ModuleCtx<'_>) -> Option<SimDuration> {
+                self.ticks.set(self.ticks.get() + 1);
+                Some(SimDuration::from_micros(200))
+            }
+        }
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut m = Machine::new(CpuModel::CometLake, 41);
+        m.load_module(Box::new(Ticker {
+            ticks: std::rc::Rc::clone(&ticks),
+        }))
+        .unwrap();
+        let mut sched = Scheduler::new(&m, SimDuration::from_micros(100));
+        sched.spawn_on(
+            CoreId(0),
+            Box::new(Worker {
+                class: InstrClass::AluAdd,
+                remaining: 20_000_000,
+                faults: 0,
+                finished_at: None,
+            }),
+        );
+        sched.run_to_completion(&mut m).unwrap();
+        assert!(ticks.get() > 10, "ticks={}", ticks.get());
+    }
+}

@@ -1,0 +1,90 @@
+//! MSR addresses used in the reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A model-specific register address (the ECX operand of `rdmsr`/`wrmsr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Msr(pub u32);
+
+impl Msr {
+    /// `IA32_PERF_STATUS` (0x198): current P-state ratio and core voltage.
+    /// The paper's countermeasure polls this for the frequency/voltage pair.
+    pub const IA32_PERF_STATUS: Msr = Msr(0x198);
+    /// `IA32_PERF_CTL` (0x199): requested P-state ratio (cpufreq writes it).
+    pub const IA32_PERF_CTL: Msr = Msr(0x199);
+    /// The overclocking-mailbox voltage-offset interface (0x150) that
+    /// Plundervolt/V0LTpwn abuse and the paper's Table 1 documents.
+    pub const OC_MAILBOX: Msr = Msr(0x150);
+    /// `MSR_DRAM_POWER_LIMIT` (0x618): DRAM power limiting, the semantics
+    /// the paper's Sec. 5.2 borrows.
+    pub const DRAM_POWER_LIMIT: Msr = Msr(0x618);
+    /// `MSR_DRAM_POWER_INFO` (0x61C): carries `DRAM_MIN_PWR`, the clamp
+    /// floor analogous to the proposed voltage-offset clamp.
+    pub const DRAM_POWER_INFO: Msr = Msr(0x61C);
+    /// The paper's **hypothetical** `MSR_VOLTAGE_OFFSET_LIMIT` (Sec. 5.2):
+    /// a vendor-provisioned clamp on 0x150 offsets. We place it at 0x151,
+    /// an address unused by real Intel parts.
+    pub const VOLTAGE_OFFSET_LIMIT: Msr = Msr(0x151);
+    /// `IA32_THERM_STATUS` (0x19C), used by thermal sanity checks.
+    pub const IA32_THERM_STATUS: Msr = Msr(0x19C);
+    /// `IA32_BIOS_SIGN_ID` (0x8B): reports the loaded microcode revision.
+    pub const IA32_BIOS_SIGN_ID: Msr = Msr(0x8B);
+    /// `MSR_PKG_ENERGY_STATUS` (0x611): the RAPL package energy counter.
+    pub const PKG_ENERGY_STATUS: Msr = Msr(0x611);
+    /// `IA32_TIME_STAMP_COUNTER` (0x10): the invariant TSC.
+    pub const TIME_STAMP_COUNTER: Msr = Msr(0x10);
+
+    /// The raw address.
+    #[must_use]
+    pub const fn addr(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Msr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Msr::IA32_PERF_STATUS => write!(f, "IA32_PERF_STATUS(0x198)"),
+            Msr::IA32_PERF_CTL => write!(f, "IA32_PERF_CTL(0x199)"),
+            Msr::OC_MAILBOX => write!(f, "OC_MAILBOX(0x150)"),
+            Msr::DRAM_POWER_LIMIT => write!(f, "MSR_DRAM_POWER_LIMIT(0x618)"),
+            Msr::DRAM_POWER_INFO => write!(f, "MSR_DRAM_POWER_INFO(0x61C)"),
+            Msr::VOLTAGE_OFFSET_LIMIT => write!(f, "MSR_VOLTAGE_OFFSET_LIMIT(0x151)"),
+            Msr::IA32_THERM_STATUS => write!(f, "IA32_THERM_STATUS(0x19C)"),
+            Msr::IA32_BIOS_SIGN_ID => write!(f, "IA32_BIOS_SIGN_ID(0x8B)"),
+            Msr::PKG_ENERGY_STATUS => write!(f, "MSR_PKG_ENERGY_STATUS(0x611)"),
+            Msr::TIME_STAMP_COUNTER => write!(f, "IA32_TIME_STAMP_COUNTER(0x10)"),
+            Msr(a) => write!(f, "MSR({a:#x})"),
+        }
+    }
+}
+
+impl From<u32> for Msr {
+    fn from(addr: u32) -> Self {
+        Msr(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_addresses() {
+        assert_eq!(Msr::OC_MAILBOX.addr(), 0x150);
+        assert_eq!(Msr::IA32_PERF_STATUS.addr(), 0x198);
+        assert_eq!(Msr::DRAM_POWER_LIMIT.addr(), 0x618);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Msr::OC_MAILBOX.to_string(), "OC_MAILBOX(0x150)");
+        assert_eq!(Msr(0xABC).to_string(), "MSR(0xabc)");
+    }
+
+    #[test]
+    fn from_u32() {
+        assert_eq!(Msr::from(0x150), Msr::OC_MAILBOX);
+    }
+}

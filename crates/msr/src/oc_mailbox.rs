@@ -1,0 +1,379 @@
+//! The overclocking-mailbox voltage interface behind MSR `0x150`.
+//!
+//! Bit layout, following the paper's Table 1 (0 = LSB):
+//!
+//! | Bits   | Function      | Explanation                                        |
+//! |--------|---------------|----------------------------------------------------|
+//! | 0–20   | —             | reserved                                           |
+//! | 21–31  | offset        | voltage offset relative to base voltage, 1/1024 V units, 11-bit two's complement |
+//! | 32     | write-enable  | 1 ⇒ apply the offset, 0 ⇒ read request             |
+//! | 33–39  | —             | reserved (Algorithm 1 also sets bit 36 as part of the 0x11 command byte) |
+//! | 40–42  | plane select  | 0 = core, 1 = GPU, 2 = cache, 3 = uncore, 4 = analog I/O |
+//! | 43–62  | —             | reserved                                           |
+//! | 63     | run/busy      | must be 1 for the write to be accepted             |
+//!
+//! [`encode_offset_request`] is a faithful transcription of the paper's
+//! Algorithm 1 (`offset_voltage`); [`OcRequest`] is the typed form with an
+//! exact decoder.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The voltage domain a mailbox request targets (bits 42:40 of 0x150).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Plane {
+    /// CPU core logic — the plane every published DVFS attack targets.
+    Core = 0,
+    /// Integrated GPU.
+    Gpu = 1,
+    /// L1/L2 cache slices.
+    Cache = 2,
+    /// Uncore / system agent.
+    Uncore = 3,
+    /// Analog I/O.
+    AnalogIo = 4,
+}
+
+impl Plane {
+    /// All planes, in index order.
+    pub const ALL: [Plane; 5] = [
+        Plane::Core,
+        Plane::Gpu,
+        Plane::Cache,
+        Plane::Uncore,
+        Plane::AnalogIo,
+    ];
+
+    /// The plane-select field value.
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a plane-select field value.
+    #[must_use]
+    pub fn from_index(idx: u8) -> Option<Plane> {
+        Plane::ALL.get(usize::from(idx)).copied()
+    }
+}
+
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Plane::Core => "core",
+            Plane::Gpu => "gpu",
+            Plane::Cache => "cache",
+            Plane::Uncore => "uncore",
+            Plane::AnalogIo => "analog-io",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors when decoding a raw 0x150 value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// Bit 63 (run/busy) was clear; the mailbox ignores such writes.
+    RunBitClear,
+    /// The plane-select field held 5, 6 or 7.
+    UnknownPlane(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::RunBitClear => write!(f, "mailbox run bit (63) not set"),
+            DecodeError::UnknownPlane(p) => write!(f, "unknown plane select {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded overclocking-mailbox request.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+///
+/// let raw = OcRequest::write_offset(-250, Plane::Core).encode();
+/// let back = OcRequest::decode(raw)?;
+/// assert_eq!(back.offset_mv(), -250);
+/// assert_eq!(back.plane(), Plane::Core);
+/// assert!(back.is_write());
+/// # Ok::<(), plugvolt_msr::oc_mailbox::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OcRequest {
+    offset_units: i16, // 11-bit two's complement, 1/1024 V units
+    write: bool,
+    plane: Plane,
+}
+
+/// Converts millivolts to mailbox units (1/1024 V), the paper's
+/// `offset * 1024 / 1000` with truncation toward zero, exactly as C
+/// integer division behaves in the reference Algorithm 1.
+#[must_use]
+pub fn mv_to_units(offset_mv: i32) -> i16 {
+    (offset_mv * 1024 / 1000) as i16
+}
+
+/// Converts mailbox units back to millivolts (rounding to nearest).
+#[must_use]
+pub fn units_to_mv(units: i16) -> i32 {
+    let n = i32::from(units) * 1000;
+    if n >= 0 {
+        (n + 512) / 1024
+    } else {
+        (n - 512) / 1024
+    }
+}
+
+impl OcRequest {
+    /// Largest negative offset expressible in the 11-bit field, ≈ −1 V.
+    pub const MIN_OFFSET_MV: i32 = -1000;
+    /// Largest positive offset expressible, ≈ +0.999 V.
+    pub const MAX_OFFSET_MV: i32 = 999;
+
+    /// Builds a *write* request applying `offset_mv` millivolts to `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset does not fit the 11-bit field
+    /// (`MIN_OFFSET_MV..=MAX_OFFSET_MV`).
+    #[must_use]
+    pub fn write_offset(offset_mv: i32, plane: Plane) -> Self {
+        assert!(
+            (Self::MIN_OFFSET_MV..=Self::MAX_OFFSET_MV).contains(&offset_mv),
+            "offset {offset_mv} mV out of field range"
+        );
+        OcRequest {
+            offset_units: mv_to_units(offset_mv),
+            write: true,
+            plane,
+        }
+    }
+
+    /// Builds a *read* request for `plane` (write-enable clear).
+    #[must_use]
+    pub fn read(plane: Plane) -> Self {
+        OcRequest {
+            offset_units: 0,
+            write: false,
+            plane,
+        }
+    }
+
+    /// The requested offset in millivolts (negative = undervolt).
+    #[must_use]
+    pub fn offset_mv(self) -> i32 {
+        units_to_mv(self.offset_units)
+    }
+
+    /// The raw 11-bit offset field value in 1/1024 V units.
+    #[must_use]
+    pub fn offset_units(self) -> i16 {
+        self.offset_units
+    }
+
+    /// Returns a copy with the raw offset field replaced (used by
+    /// hardware clamps that operate in native units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` does not fit the 11-bit field.
+    #[must_use]
+    pub fn with_offset_units(self, units: i16) -> Self {
+        assert!((-1024..=1023).contains(&units), "units out of 11-bit field");
+        OcRequest {
+            offset_units: units,
+            ..self
+        }
+    }
+
+    /// Whether this is a write (apply) request.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        self.write
+    }
+
+    /// The targeted voltage plane.
+    #[must_use]
+    pub fn plane(self) -> Plane {
+        self.plane
+    }
+
+    /// Encodes to the raw 64-bit MSR value, bit-compatible with the
+    /// paper's Algorithm 1.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        let mut val = (u64::from(self.offset_units as u16) & 0xFFF) << 21;
+        val &= 0xFFE0_0000;
+        // 0x8000_0011_0000_0000 = run bit 63 | command byte 0x11 in bits
+        // 39:32 (bit 32 doubles as the paper's "write-enable").
+        if self.write {
+            val |= 0x8000_0011_0000_0000;
+        } else {
+            val |= 0x8000_0010_0000_0000;
+        }
+        val |= u64::from(self.plane.index()) << 40;
+        val
+    }
+
+    /// Decodes a raw 64-bit MSR value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the run bit is clear or the plane-select
+    /// field is invalid.
+    pub fn decode(raw: u64) -> Result<Self, DecodeError> {
+        if raw >> 63 == 0 {
+            return Err(DecodeError::RunBitClear);
+        }
+        let plane_bits = ((raw >> 40) & 0x7) as u8;
+        let plane = Plane::from_index(plane_bits).ok_or(DecodeError::UnknownPlane(plane_bits))?;
+        let field = ((raw >> 21) & 0x7FF) as u16;
+        // Sign-extend the 11-bit field.
+        let offset_units = if field & 0x400 != 0 {
+            (field | 0xF800) as i16
+        } else {
+            field as i16
+        };
+        Ok(OcRequest {
+            offset_units,
+            write: (raw >> 32) & 1 == 1,
+            plane,
+        })
+    }
+}
+
+/// The paper's Algorithm 1 (`offset_voltage`), transcribed literally:
+/// computes the raw 64-bit value that applies `offset_mv` millivolts to
+/// plane index `plane`.
+///
+/// Prefer [`OcRequest::write_offset`] in new code; this function exists to
+/// prove bit-equivalence with the published pseudocode (see the tests).
+#[must_use]
+pub fn encode_offset_request(offset_mv: i32, plane: u8) -> u64 {
+    // set val ← (offset*1024/1000)
+    let val = offset_mv * 1024 / 1000;
+    // set val ← 0xFFE00000 and ((val and 0xFFF) left-shift 21)
+    let mut val = 0xFFE0_0000u64 & ((val as u64 & 0xFFF) << 21);
+    // set val ← val or 0x8000001100000000
+    val |= 0x8000_0011_0000_0000;
+    // set val ← val or (plane left-shift 40)
+    val |= u64::from(plane) << 40;
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_equivalence() {
+        for offset in [-1, -50, -100, -150, -200, -299, -300, 0, 25, 100] {
+            for plane in Plane::ALL {
+                assert_eq!(
+                    OcRequest::write_offset(offset, plane).encode(),
+                    encode_offset_request(offset, plane.index()),
+                    "offset={offset} plane={plane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_all_planes_and_offsets() {
+        for offset in (-300..=300).step_by(7) {
+            for plane in Plane::ALL {
+                let req = OcRequest::write_offset(offset, plane);
+                let back = OcRequest::decode(req.encode()).expect("decodes");
+                assert_eq!(back.plane(), plane);
+                assert!(back.is_write());
+                // mV→units→mV loses at most 1 mV to quantization.
+                assert!(
+                    (back.offset_mv() - offset).abs() <= 1,
+                    "offset {offset} decoded as {}",
+                    back.offset_mv()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn units_round_trip_exactly() {
+        let req = OcRequest::write_offset(-150, Plane::Core);
+        let back = OcRequest::decode(req.encode()).unwrap();
+        assert_eq!(back.offset_units(), req.offset_units());
+    }
+
+    #[test]
+    fn known_plundervolt_value() {
+        // −(2^k) style sanity: −250 mV on the core plane. 11-bit field of
+        // −256 units = 0x700 (two's complement in 11 bits).
+        let raw = encode_offset_request(-250, 0);
+        assert_eq!(raw >> 63, 1, "run bit set");
+        assert_eq!((raw >> 32) & 0xFF, 0x11, "write command byte");
+        assert_eq!((raw >> 40) & 0x7, 0, "core plane");
+        let field = (raw >> 21) & 0x7FF;
+        assert_eq!(field, 0x700, "raw={raw:#018x} field={field:#x}");
+    }
+
+    #[test]
+    fn reserved_low_bits_stay_clear() {
+        for offset in [-300, -1, 0, 300] {
+            let raw = OcRequest::write_offset(offset, Plane::Cache).encode();
+            assert_eq!(raw & 0x1F_FFFF, 0, "bits 0–20 reserved");
+        }
+    }
+
+    #[test]
+    fn read_request_uses_read_command() {
+        let raw = OcRequest::read(Plane::Gpu).encode();
+        assert_eq!((raw >> 32) & 0xFF, 0x10);
+        let back = OcRequest::decode(raw).unwrap();
+        assert!(!back.is_write());
+        assert_eq!(back.plane(), Plane::Gpu);
+    }
+
+    #[test]
+    fn decode_rejects_clear_run_bit() {
+        assert_eq!(
+            OcRequest::decode(0x0000_0011_0000_0000),
+            Err(DecodeError::RunBitClear)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_plane() {
+        let raw = 0x8000_0011_0000_0000u64 | (6 << 40);
+        assert_eq!(OcRequest::decode(raw), Err(DecodeError::UnknownPlane(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of field range")]
+    fn offset_overflow_panics() {
+        let _ = OcRequest::write_offset(-1_500, Plane::Core);
+    }
+
+    #[test]
+    fn plane_indices_match_table1() {
+        assert_eq!(Plane::Core.index(), 0);
+        assert_eq!(Plane::Gpu.index(), 1);
+        assert_eq!(Plane::Cache.index(), 2);
+        assert_eq!(Plane::Uncore.index(), 3);
+        assert_eq!(Plane::AnalogIo.index(), 4);
+        assert_eq!(Plane::from_index(5), None);
+    }
+
+    #[test]
+    fn unit_conversion_examples() {
+        assert_eq!(mv_to_units(-1000), -1024);
+        assert_eq!(mv_to_units(-100), -102);
+        assert_eq!(units_to_mv(-102), -100);
+        assert_eq!(mv_to_units(0), 0);
+        assert_eq!(units_to_mv(0), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! `IA32_PERF_STATUS` (0x198) and `IA32_PERF_CTL` (0x199) encodings.
+//!
+//! The countermeasure's polling loop reads 0x198 for the *current*
+//! frequency/voltage pair (Algorithm 3 line 4), and the cpufreq scaling
+//! driver writes ratio requests to 0x199. Layout (as on real Intel parts):
+//!
+//! - 0x198 bits 15:8 — current P-state ratio (× 100 MHz bus clock);
+//! - 0x198 bits 47:32 — current core voltage in 1/8192 V units;
+//! - 0x199 bits 15:8 — requested P-state ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Bus (BCLK) frequency that P-state ratios multiply, in MHz.
+pub const BUS_CLOCK_MHZ: u32 = 100;
+
+/// A decoded `IA32_PERF_STATUS` value.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_msr::perf_status::PerfStatus;
+///
+/// let s = PerfStatus::new(3_200, 1_050.0);
+/// let raw = s.encode();
+/// let back = PerfStatus::decode(raw);
+/// assert_eq!(back.freq_mhz(), 3_200);
+/// assert!((back.voltage_mv() - 1_050.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfStatus {
+    ratio: u8,
+    voltage_units: u16, // 1/8192 V
+}
+
+impl PerfStatus {
+    /// Creates a status reporting `freq_mhz` (rounded down to a whole
+    /// ratio) and `voltage_mv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency exceeds the 8-bit ratio field (25.5 GHz) or
+    /// the voltage is negative or exceeds the 16-bit field (= 8 V).
+    #[must_use]
+    pub fn new(freq_mhz: u32, voltage_mv: f64) -> Self {
+        let ratio = freq_mhz / BUS_CLOCK_MHZ;
+        assert!(ratio <= 0xFF, "frequency {freq_mhz} MHz out of ratio field");
+        assert!(
+            (0.0..8_000.0).contains(&voltage_mv),
+            "voltage {voltage_mv} mV out of field"
+        );
+        PerfStatus {
+            ratio: ratio as u8,
+            voltage_units: (voltage_mv * 8.192).round() as u16,
+        }
+    }
+
+    /// Current core frequency in MHz (ratio × bus clock).
+    #[must_use]
+    pub fn freq_mhz(self) -> u32 {
+        u32::from(self.ratio) * BUS_CLOCK_MHZ
+    }
+
+    /// Current core voltage in millivolts.
+    #[must_use]
+    pub fn voltage_mv(self) -> f64 {
+        f64::from(self.voltage_units) / 8.192
+    }
+
+    /// Encodes to the raw 64-bit MSR value.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        (u64::from(self.voltage_units) << 32) | (u64::from(self.ratio) << 8)
+    }
+
+    /// Decodes a raw 64-bit MSR value.
+    #[must_use]
+    pub fn decode(raw: u64) -> Self {
+        PerfStatus {
+            ratio: ((raw >> 8) & 0xFF) as u8,
+            voltage_units: ((raw >> 32) & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// Encodes an `IA32_PERF_CTL` frequency request.
+///
+/// # Panics
+///
+/// Panics if the frequency exceeds the ratio field.
+#[must_use]
+pub fn encode_perf_ctl(freq_mhz: u32) -> u64 {
+    let ratio = freq_mhz / BUS_CLOCK_MHZ;
+    assert!(ratio <= 0xFF, "frequency {freq_mhz} MHz out of ratio field");
+    u64::from(ratio) << 8
+}
+
+/// Decodes the requested frequency (MHz) from an `IA32_PERF_CTL` value.
+#[must_use]
+pub fn decode_perf_ctl(raw: u64) -> u32 {
+    (((raw >> 8) & 0xFF) as u32) * BUS_CLOCK_MHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_field_round_trip() {
+        for mhz in (400..=4_900).step_by(100) {
+            let s = PerfStatus::new(mhz, 900.0);
+            assert_eq!(PerfStatus::decode(s.encode()).freq_mhz(), mhz);
+        }
+    }
+
+    #[test]
+    fn frequency_truncates_to_ratio() {
+        assert_eq!(PerfStatus::new(1_999, 900.0).freq_mhz(), 1_900);
+    }
+
+    #[test]
+    fn voltage_resolution_is_sub_millivolt() {
+        for mv in [650.0, 723.4, 1_052.17, 1_200.0] {
+            let s = PerfStatus::new(2_000, mv);
+            let back = PerfStatus::decode(s.encode());
+            assert!((back.voltage_mv() - mv).abs() < 0.13, "mv={mv}");
+        }
+    }
+
+    #[test]
+    fn perf_ctl_round_trip() {
+        for mhz in [400, 800, 2_600, 4_900] {
+            assert_eq!(decode_perf_ctl(encode_perf_ctl(mhz)), mhz);
+        }
+    }
+
+    #[test]
+    fn fields_do_not_collide() {
+        let s = PerfStatus::new(25_500, 7_999.0);
+        let raw = s.encode();
+        assert_eq!(PerfStatus::decode(raw).freq_mhz(), 25_500);
+        assert!((PerfStatus::decode(raw).voltage_mv() - 7_999.0).abs() < 0.13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of ratio field")]
+    fn ratio_overflow_panics() {
+        let _ = PerfStatus::new(30_000, 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of field")]
+    fn voltage_overflow_panics() {
+        let _ = PerfStatus::new(1_000, 9_000.0);
+    }
+}

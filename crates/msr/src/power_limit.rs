@@ -1,0 +1,177 @@
+//! `MSR_DRAM_POWER_LIMIT` / `MSR_DRAM_POWER_INFO` clamp semantics.
+//!
+//! Sec. 5.2 of the paper proposes a hardware voltage-offset clamp with the
+//! same semantics as the DRAM power-limit pair: software may request any
+//! limit via `MSR_DRAM_POWER_LIMIT`, but values below the
+//! `DRAM_MIN_PWR` floor advertised in `MSR_DRAM_POWER_INFO` are silently
+//! *clamped* to the floor. We model that pair here (it doubles as a
+//! regression test bed for the clamp behaviour reused by
+//! [`crate::offset_limit`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Power unit of the limit fields: 1/8 W.
+pub const POWER_UNIT_EIGHTH_WATT: f64 = 0.125;
+
+/// A decoded `MSR_DRAM_POWER_LIMIT` value (bits 14:0 limit, bit 15 enable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramPowerLimit {
+    limit_units: u16, // 15 bits, 1/8 W
+    enabled: bool,
+}
+
+impl DramPowerLimit {
+    /// Creates a limit of `watts`, enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or exceeds the 15-bit field (4095 W).
+    #[must_use]
+    pub fn new(watts: f64) -> Self {
+        assert!(watts >= 0.0, "power must be non-negative");
+        let units = (watts / POWER_UNIT_EIGHTH_WATT).round();
+        assert!(units <= 0x7FFF as f64, "power {watts} W out of field");
+        DramPowerLimit {
+            limit_units: units as u16,
+            enabled: true,
+        }
+    }
+
+    /// The limit in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        f64::from(self.limit_units) * POWER_UNIT_EIGHTH_WATT
+    }
+
+    /// Whether limiting is enabled.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        self.enabled
+    }
+
+    /// Encodes to the raw MSR value.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        u64::from(self.limit_units) | (u64::from(self.enabled) << 15)
+    }
+
+    /// Decodes a raw MSR value.
+    #[must_use]
+    pub fn decode(raw: u64) -> Self {
+        DramPowerLimit {
+            limit_units: (raw & 0x7FFF) as u16,
+            enabled: (raw >> 15) & 1 == 1,
+        }
+    }
+}
+
+/// A decoded `MSR_DRAM_POWER_INFO` value; we model only `DRAM_MIN_PWR`
+/// (bits 30:16), the clamp floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramPowerInfo {
+    min_units: u16, // 15 bits, 1/8 W
+}
+
+impl DramPowerInfo {
+    /// Creates an info block advertising a minimum of `watts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or exceeds the 15-bit field.
+    #[must_use]
+    pub fn new(watts: f64) -> Self {
+        assert!(watts >= 0.0, "power must be non-negative");
+        let units = (watts / POWER_UNIT_EIGHTH_WATT).round();
+        assert!(units <= 0x7FFF as f64, "power {watts} W out of field");
+        DramPowerInfo {
+            min_units: units as u16,
+        }
+    }
+
+    /// The advertised minimum in watts.
+    #[must_use]
+    pub fn min_watts(self) -> f64 {
+        f64::from(self.min_units) * POWER_UNIT_EIGHTH_WATT
+    }
+
+    /// Encodes to the raw MSR value.
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        u64::from(self.min_units) << 16
+    }
+
+    /// Decodes a raw MSR value.
+    #[must_use]
+    pub fn decode(raw: u64) -> Self {
+        DramPowerInfo {
+            min_units: ((raw >> 16) & 0x7FFF) as u16,
+        }
+    }
+
+    /// Applies the hardware clamp: any requested limit below
+    /// `DRAM_MIN_PWR` is raised to it. This is the exact behaviour the
+    /// paper transplants onto voltage offsets.
+    #[must_use]
+    pub fn clamp(self, requested: DramPowerLimit) -> DramPowerLimit {
+        DramPowerLimit {
+            limit_units: requested.limit_units.max(self.min_units),
+            enabled: requested.enabled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_round_trip() {
+        let l = DramPowerLimit::new(22.5);
+        let back = DramPowerLimit::decode(l.encode());
+        assert_eq!(back, l);
+        assert!((back.watts() - 22.5).abs() < 1e-12);
+        assert!(back.is_enabled());
+    }
+
+    #[test]
+    fn info_round_trip() {
+        let i = DramPowerInfo::new(7.875);
+        assert_eq!(DramPowerInfo::decode(i.encode()), i);
+    }
+
+    #[test]
+    fn clamp_raises_low_requests() {
+        let floor = DramPowerInfo::new(10.0);
+        let clamped = floor.clamp(DramPowerLimit::new(2.0));
+        assert!((clamped.watts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_passes_high_requests() {
+        let floor = DramPowerInfo::new(10.0);
+        let passed = floor.clamp(DramPowerLimit::new(30.0));
+        assert!((passed.watts() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_preserves_enable_bit() {
+        let floor = DramPowerInfo::new(10.0);
+        let mut req = DramPowerLimit::new(2.0);
+        req.enabled = false;
+        assert!(!floor.clamp(req).is_enabled());
+    }
+
+    #[test]
+    fn fields_do_not_collide() {
+        // Limit and info occupy disjoint raw bit ranges by design.
+        let l = DramPowerLimit::new(100.0).encode();
+        let i = DramPowerInfo::new(100.0).encode();
+        assert_eq!(l & i, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of field")]
+    fn limit_overflow_panics() {
+        let _ = DramPowerLimit::new(5_000.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # plugvolt-workloads
+//!
+//! The SPEC CPU2017-like workload suite and the Table 2 overhead harness
+//! of the *Plug Your Volt* (DAC 2024) reproduction.
+//!
+//! SPEC CPU2017 is proprietary, so [`suite`] ships 23 synthetic
+//! benchmarks with the paper's names, fp/int split, per-benchmark
+//! instruction mixes and the paper's without-polling rates as
+//! calibration anchors. [`rate`] measures SPEC-style rate scores on the
+//! simulated machine; [`overhead`] regenerates Table 2 (with/without
+//! the polling countermeasure, base and peak tunings).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use plugvolt_workloads::overhead::{run_table2, OverheadConfig};
+//!
+//! let table = run_table2(&OverheadConfig::default())?;
+//! println!("mean overhead: {:.2}%", table.mean_abs_slowdown_pct);
+//! # Ok::<(), plugvolt_kernel::machine::MachineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod overhead;
+pub mod rate;
+pub mod suite;
+
+/// Convenient glob-import of the commonly used names.
+pub mod prelude {
+    pub use crate::overhead::{measure_benchmark, run_table2, OverheadConfig, Table2, Table2Row};
+    pub use crate::rate::{nominal_copy_time, reference_time, run_rate, RateScore};
+    pub use crate::suite::{find, Benchmark, Category, Tuning, SUITE};
+}

@@ -1,0 +1,187 @@
+//! SPEC-style rate measurement on the simulated machine.
+//!
+//! A *rate* run launches one copy of a benchmark per core and scores
+//! `copies × reference_time / elapsed`. Reference times are calibrated
+//! (see [`crate::suite`]) so the unloaded Comet Lake reproduces the
+//! paper's Table 2 anchors; any kernel-module overhead then shows up as
+//! a (small) rate drop, exactly as it did on the authors' bench. A
+//! seeded ±0.4 % measurement jitter models SPEC run-to-run variance.
+
+use crate::suite::{Benchmark, Tuning};
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::machine::{Machine, MachineError};
+use serde::{Deserialize, Serialize};
+
+/// Relative half-width of the measurement jitter (run-to-run variance).
+pub const JITTER: f64 = 0.004;
+
+/// Result of one rate run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateScore {
+    /// Benchmark name.
+    pub name: String,
+    /// Tuning used.
+    pub tuning: Tuning,
+    /// The SPEC-style rate score.
+    pub score: f64,
+    /// Copies run (= cores used).
+    pub copies: usize,
+    /// Longest per-copy wall time.
+    pub elapsed: SimDuration,
+    /// Fraction of wall time stolen by kernel modules.
+    pub stolen_fraction: f64,
+    /// Faulted instructions observed (must be 0 on a healthy machine).
+    pub faults: u64,
+}
+
+/// Analytic per-copy compute time for a benchmark at `freq` (no module
+/// overhead, no jitter) — the calibration baseline.
+#[must_use]
+pub fn nominal_copy_time(bench: &Benchmark, tuning: Tuning, freq: FreqMhz) -> SimDuration {
+    let total = bench.instructions_for(tuning);
+    let weight_sum: u64 = bench.mix.iter().map(|&(_, w)| u64::from(w)).sum();
+    let mut t = SimDuration::ZERO;
+    for &(class, w) in bench.mix {
+        let n = total * u64::from(w) / weight_sum;
+        t += SimDuration::from_cycles((n as f64 * class.cpi()).ceil() as u64, freq.mhz());
+    }
+    t
+}
+
+/// The calibrated reference time: chosen so `copies × ref / nominal_time`
+/// equals the paper's anchor rate on an unloaded machine.
+#[must_use]
+pub fn reference_time(bench: &Benchmark, tuning: Tuning, freq: FreqMhz, copies: usize) -> f64 {
+    bench.paper_rate(tuning) * nominal_copy_time(bench, tuning, freq).as_secs_f64() / copies as f64
+}
+
+/// Runs one rate measurement: one copy per core, all cores.
+///
+/// # Errors
+///
+/// Propagates machine errors (a crashed package fails the run).
+pub fn run_rate(
+    machine: &mut Machine,
+    bench: &Benchmark,
+    tuning: Tuning,
+) -> Result<RateScore, MachineError> {
+    let copies = machine.cpu().core_count();
+    let freq = machine.cpu().core_freq(CoreId(0))?;
+    let total = bench.instructions_for(tuning);
+    let weight_sum: u64 = bench.mix.iter().map(|&(_, w)| u64::from(w)).sum();
+
+    let mut worst = SimDuration::ZERO;
+    let mut stolen_total = SimDuration::ZERO;
+    let mut wall_total = SimDuration::ZERO;
+    let mut faults = 0u64;
+    for c in 0..copies {
+        let core = CoreId(c);
+        let mut copy_wall = SimDuration::ZERO;
+        for &(class, w) in bench.mix {
+            let n = total * u64::from(w) / weight_sum;
+            let run = machine.run_workload(core, class, n)?;
+            copy_wall += run.wall;
+            stolen_total += run.stolen;
+            wall_total += run.wall;
+            faults += run.faults;
+        }
+        worst = worst.max(copy_wall);
+    }
+
+    // Run-to-run measurement noise (seeded, deterministic).
+    let jitter = 1.0 + JITTER * (2.0 * machine.rng().next_f64() - 1.0);
+    let ref_time = reference_time(bench, tuning, freq, copies);
+    let score = copies as f64 * ref_time / worst.as_secs_f64() * jitter;
+
+    Ok(RateScore {
+        name: bench.name.to_owned(),
+        tuning,
+        score,
+        copies,
+        elapsed: worst,
+        stolen_fraction: if wall_total.is_zero() {
+            0.0
+        } else {
+            stolen_total.as_picos() as f64 / wall_total.as_picos() as f64
+        },
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::find;
+    use plugvolt_cpu::model::CpuModel;
+
+    fn small(bench: &Benchmark) -> Benchmark {
+        // Shrink the work 100× so unit tests stay fast; rates are
+        // work-invariant because the reference scales along.
+        Benchmark {
+            instructions: bench.instructions / 100,
+            ..*bench
+        }
+    }
+
+    #[test]
+    fn unloaded_machine_reproduces_anchor_rate() {
+        let mut m = Machine::new(CpuModel::CometLake, 3);
+        let b = small(find("bwaves").unwrap());
+        let r = run_rate(&mut m, &b, Tuning::Base).unwrap();
+        let rel = (r.score - b.paper_base_rate).abs() / b.paper_base_rate;
+        assert!(
+            rel < 0.006,
+            "score {} vs anchor {}",
+            r.score,
+            b.paper_base_rate
+        );
+        assert_eq!(r.faults, 0);
+        assert_eq!(r.stolen_fraction, 0.0);
+        assert_eq!(r.copies, 4);
+    }
+
+    #[test]
+    fn peak_tuning_reproduces_peak_anchor() {
+        let mut m = Machine::new(CpuModel::CometLake, 3);
+        let b = small(find("namd").unwrap());
+        let r = run_rate(&mut m, &b, Tuning::Peak).unwrap();
+        let rel = (r.score - b.paper_peak_rate).abs() / b.paper_peak_rate;
+        assert!(
+            rel < 0.006,
+            "score {} vs anchor {}",
+            r.score,
+            b.paper_peak_rate
+        );
+    }
+
+    #[test]
+    fn jitter_varies_between_runs_but_is_seeded() {
+        let b = small(find("xz").unwrap());
+        let score = |seed| {
+            let mut m = Machine::new(CpuModel::CometLake, seed);
+            run_rate(&mut m, &b, Tuning::Base).unwrap().score
+        };
+        assert_ne!(score(1), score(2), "different seeds, different jitter");
+        assert_eq!(score(1), score(1), "same seed, same score");
+    }
+
+    #[test]
+    fn nominal_time_scales_with_frequency() {
+        let b = find("gcc").unwrap();
+        let slow = nominal_copy_time(b, Tuning::Base, FreqMhz(1_000));
+        let fast = nominal_copy_time(b, Tuning::Base, FreqMhz(2_000));
+        assert!(slow.as_picos() > fast.as_picos() * 19 / 10);
+    }
+
+    #[test]
+    fn reference_time_is_positive_for_all_benchmarks() {
+        for b in &crate::suite::SUITE {
+            for tuning in [Tuning::Base, Tuning::Peak] {
+                let r = reference_time(b, tuning, FreqMhz(1_800), 4);
+                assert!(r > 0.0, "{} {tuning:?}", b.name);
+            }
+        }
+    }
+}

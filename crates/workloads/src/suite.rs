@@ -1,0 +1,299 @@
+//! The SPEC CPU2017-rate-like benchmark suite of Table 2.
+//!
+//! SPEC CPU2017 itself is proprietary, so we ship 23 synthetic
+//! benchmarks carrying the same names, split (13 fp-rate + 10 int-rate)
+//! and *published per-benchmark rates from the paper's Table 2* as
+//! calibration anchors: each benchmark's reference time is derived such
+//! that an unloaded simulated Comet Lake reproduces the paper's
+//! without-polling rates, and the with-polling deltas then *emerge* from
+//! the polling module's stolen cycles. Instruction mixes are chosen per
+//! benchmark character (fp-heavy, memory-heavy, integer/branchy).
+
+use plugvolt_cpu::exec::InstrClass;
+use serde::{Deserialize, Serialize};
+
+/// SPEC-style benchmark category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// `fprate` — floating-point heavy.
+    Fp,
+    /// `intrate` — integer/branch heavy.
+    Int,
+}
+
+/// Instruction-mix archetypes, as weights over the engine's classes.
+pub type Mix = &'static [(InstrClass, u32)];
+
+const FP_STENCIL: Mix = &[
+    (InstrClass::Fma, 5),
+    (InstrClass::Load, 4),
+    (InstrClass::AluAdd, 1),
+];
+const FP_COMPUTE: Mix = &[
+    (InstrClass::Fma, 7),
+    (InstrClass::Load, 2),
+    (InstrClass::AluAdd, 1),
+];
+const FP_MIXED: Mix = &[
+    (InstrClass::Fma, 4),
+    (InstrClass::Load, 3),
+    (InstrClass::AluAdd, 2),
+    (InstrClass::Imul, 1),
+];
+const INT_BRANCHY: Mix = &[
+    (InstrClass::AluAdd, 6),
+    (InstrClass::Load, 3),
+    (InstrClass::Imul, 1),
+];
+const INT_MEMORY: Mix = &[
+    (InstrClass::Load, 6),
+    (InstrClass::AluAdd, 3),
+    (InstrClass::Imul, 1),
+];
+const INT_CRYPTOISH: Mix = &[
+    (InstrClass::AluAdd, 4),
+    (InstrClass::Imul, 3),
+    (InstrClass::Load, 3),
+];
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// SPEC-style identifier, e.g. `"503.bwaves_r"`.
+    pub name: &'static str,
+    /// fp-rate or int-rate.
+    pub category: Category,
+    /// Instruction mix (class, weight).
+    #[serde(skip)]
+    pub mix: Mix,
+    /// Instructions per copy for a *base*-tuning run.
+    pub instructions: u64,
+    /// Table 2 anchor: base rate without polling.
+    pub paper_base_rate: f64,
+    /// Table 2 anchor: peak rate without polling.
+    pub paper_peak_rate: f64,
+}
+
+impl Benchmark {
+    /// Instructions per copy for the given tuning. Peak tuning scales
+    /// the work so the peak-rate anchor is reproduced.
+    #[must_use]
+    pub fn instructions_for(&self, tuning: Tuning) -> u64 {
+        match tuning {
+            Tuning::Base => self.instructions,
+            Tuning::Peak => {
+                (self.instructions as f64 * self.paper_base_rate / self.paper_peak_rate) as u64
+            }
+        }
+    }
+
+    /// The Table 2 anchor rate for a tuning.
+    #[must_use]
+    pub fn paper_rate(&self, tuning: Tuning) -> f64 {
+        match tuning {
+            Tuning::Base => self.paper_base_rate,
+            Tuning::Peak => self.paper_peak_rate,
+        }
+    }
+}
+
+/// SPEC base vs peak tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tuning {
+    /// Conservative flags, one set for all benchmarks.
+    Base,
+    /// Per-benchmark aggressive flags.
+    Peak,
+}
+
+macro_rules! bench {
+    ($name:literal, $cat:ident, $mix:ident, $instr:expr, $base:expr, $peak:expr) => {
+        Benchmark {
+            name: $name,
+            category: Category::$cat,
+            mix: $mix,
+            instructions: $instr,
+            paper_base_rate: $base,
+            paper_peak_rate: $peak,
+        }
+    };
+}
+
+/// The 23 benchmarks of Table 2, with the paper's without-polling rates
+/// as calibration anchors.
+pub const SUITE: [Benchmark; 23] = [
+    bench!(
+        "503.bwaves_r",
+        Fp,
+        FP_STENCIL,
+        2_400_000_000,
+        628.59,
+        604.21
+    ),
+    bench!(
+        "507.cactuBSSN_r",
+        Fp,
+        FP_COMPUTE,
+        2_000_000_000,
+        222.95,
+        202.87
+    ),
+    bench!("508.namd_r", Fp, FP_COMPUTE, 2_200_000_000, 175.96, 179.55),
+    bench!("510.parest_r", Fp, FP_MIXED, 2_000_000_000, 387.96, 324.46),
+    bench!("511.povray_r", Fp, FP_MIXED, 1_800_000_000, 328.67, 267.29),
+    bench!("519.lbm_r", Fp, FP_STENCIL, 2_000_000_000, 224.08, 176.56),
+    bench!("521.wrf_r", Fp, FP_STENCIL, 2_400_000_000, 404.21, 428.21),
+    bench!("526.blender_r", Fp, FP_MIXED, 1_900_000_000, 256.54, 239.52),
+    bench!("527.cam4_r", Fp, FP_STENCIL, 2_100_000_000, 315.77, 324.12),
+    bench!(
+        "538.imagick_r",
+        Fp,
+        FP_COMPUTE,
+        2_300_000_000,
+        401.88,
+        318.06
+    ),
+    bench!("544.nab_r", Fp, FP_COMPUTE, 2_000_000_000, 315.25, 282.02),
+    bench!(
+        "549.fotonik3d_r",
+        Fp,
+        FP_STENCIL,
+        2_200_000_000,
+        418.76,
+        415.46
+    ),
+    bench!("554.roms_r", Fp, FP_STENCIL, 2_000_000_000, 322.51, 279.39),
+    bench!(
+        "500.perlbench_r",
+        Int,
+        INT_BRANCHY,
+        1_800_000_000,
+        295.87511,
+        253.71
+    ),
+    bench!(
+        "502.gcc_r",
+        Int,
+        INT_BRANCHY,
+        1_700_000_000,
+        221.4159,
+        218.91
+    ),
+    bench!("505.mcf_r", Int, INT_MEMORY, 1_600_000_000, 339.97, 297.68),
+    bench!(
+        "520.omnetpp_r",
+        Int,
+        INT_MEMORY,
+        1_500_000_000,
+        509.805,
+        479.08
+    ),
+    bench!(
+        "523.xalancbmk_r",
+        Int,
+        INT_MEMORY,
+        1_700_000_000,
+        287.7046,
+        283.57
+    ),
+    bench!(
+        "525.x264_r",
+        Int,
+        INT_CRYPTOISH,
+        2_000_000_000,
+        318.11903,
+        290.76
+    ),
+    bench!(
+        "531.deepsjeng_r",
+        Int,
+        INT_BRANCHY,
+        1_800_000_000,
+        306.148284,
+        284.09
+    ),
+    bench!(
+        "541.leela_r",
+        Int,
+        INT_BRANCHY,
+        1_700_000_000,
+        417.2528,
+        383.03
+    ),
+    bench!(
+        "548.exchange2_r",
+        Int,
+        INT_BRANCHY,
+        1_900_000_000,
+        345.38,
+        248.6
+    ),
+    bench!(
+        "557.xz_r",
+        Int,
+        INT_CRYPTOISH,
+        1_800_000_000,
+        387.71,
+        373.41
+    ),
+];
+
+/// Looks a benchmark up by (any unique substring of) its name.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static Benchmark> {
+    SUITE.iter().find(|b| b.name.contains(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_23_unique_benchmarks() {
+        assert_eq!(SUITE.len(), 23);
+        let mut names: Vec<_> = SUITE.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn category_split_matches_spec2017() {
+        let fp = SUITE.iter().filter(|b| b.category == Category::Fp).count();
+        let int = SUITE.iter().filter(|b| b.category == Category::Int).count();
+        assert_eq!(fp, 13);
+        assert_eq!(int, 10);
+    }
+
+    #[test]
+    fn anchors_match_table2_spot_checks() {
+        let bwaves = find("bwaves").unwrap();
+        assert!((bwaves.paper_base_rate - 628.59).abs() < 1e-9);
+        assert!((bwaves.paper_peak_rate - 604.21).abs() < 1e-9);
+        let xz = find("557.xz").unwrap();
+        assert!((xz.paper_rate(Tuning::Base) - 387.71).abs() < 1e-9);
+        assert!((xz.paper_rate(Tuning::Peak) - 373.41).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixes_are_nonempty_and_weighted() {
+        for b in &SUITE {
+            assert!(!b.mix.is_empty(), "{}", b.name);
+            assert!(b.mix.iter().map(|(_, w)| w).sum::<u32>() > 0, "{}", b.name);
+            assert!(b.instructions > 1_000_000_000, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn peak_tuning_scales_work_inversely_with_rate() {
+        let wrf = find("wrf").unwrap(); // peak rate higher than base
+        assert!(wrf.instructions_for(Tuning::Peak) < wrf.instructions_for(Tuning::Base));
+        let lbm = find("lbm").unwrap(); // peak rate lower than base
+        assert!(lbm.instructions_for(Tuning::Peak) > lbm.instructions_for(Tuning::Base));
+    }
+
+    #[test]
+    fn find_rejects_unknown() {
+        assert!(find("999.nonexistent").is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration: bit-for-bit reproducibility of every pipeline stage.
+//!
+//! The whole point of replacing the authors' bench with a simulator is
+//! that anyone can re-run the experiments and get the same numbers;
+//! these tests pin that property across crates.
+
+use plugvolt::prelude::*;
+use plugvolt_attacks::prelude::*;
+use plugvolt_cpu::prelude::*;
+use plugvolt_des::time::SimDuration;
+use plugvolt_kernel::prelude::*;
+use plugvolt_workloads::prelude::*;
+
+#[test]
+fn characterization_is_reproducible() {
+    let run = |seed| {
+        let mut machine = Machine::new(CpuModel::KabyLakeR, seed);
+        characterize(&mut machine, &SweepConfig::coarse()).expect("sweeps")
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.map, b.map);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.duration, b.duration);
+    // And a different seed still produces the same *map* (the physics is
+    // the same part; only stochastic fault sampling differs, which the
+    // million-iteration loop averages out at the map level).
+    let c = run(6);
+    let onsets = |r: &CharacterizationRun| -> Vec<Option<i32>> {
+        r.map.iter().map(|(_, b)| b.fault_onset_mv).collect()
+    };
+    let diffs = onsets(&a)
+        .iter()
+        .zip(onsets(&c))
+        .filter(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => (*x - y).abs() > 10,
+            (None, None) => false,
+            _ => true,
+        })
+        .count();
+    assert!(diffs <= 2, "maps diverge across seeds in {diffs} bands");
+}
+
+#[test]
+fn attack_campaigns_are_reproducible() {
+    let run = || {
+        let mut machine = Machine::new(CpuModel::CometLake, 42);
+        run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 9).expect("runs")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn table2_is_reproducible() {
+    let cfg = OverheadConfig {
+        work_divisor: 400,
+        ..OverheadConfig::default()
+    };
+    let a = run_table2(&cfg).expect("runs");
+    let b = run_table2(&cfg).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn machine_histories_replay_exactly() {
+    let run = || {
+        let mut machine = Machine::new(CpuModel::SkyLake, 11);
+        let map = plugvolt::characterize::analytic_map(machine.cpu().spec());
+        let _ = deploy(
+            &mut machine,
+            &map,
+            Deployment::PollingModule(PollConfig::default()),
+        )
+        .expect("deploys");
+        let dev = MsrDev::open(&machine, CoreId(0)).expect("opens");
+        let req = plugvolt_msr::oc_mailbox::OcRequest::write_offset(
+            -200,
+            plugvolt_msr::oc_mailbox::Plane::Core,
+        )
+        .encode();
+        let _ = dev
+            .write(&mut machine, plugvolt_msr::addr::Msr::OC_MAILBOX, req)
+            .expect("writes");
+        machine.advance(SimDuration::from_millis(3));
+        (
+            machine.now(),
+            machine.cpu().core_offset_mv(),
+            machine.stolen_time(CoreId(0)),
+            machine.trace().len(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,329 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: MSR codecs, characterization-map classification,
+//! timing physics, the fault sampler and the VR.
+
+use proptest::prelude::*;
+
+use plugvolt::charmap::{CharacterizationMap, FreqBand};
+use plugvolt::state::StateClass;
+use plugvolt_circuit::delay::{AlphaPowerModel, DelayModel};
+use plugvolt_circuit::fault::{sample_binomial, sample_flip_mask, FaultModel};
+use plugvolt_circuit::multiplier::MultiplierUnit;
+use plugvolt_circuit::netlist::{array_multiplier, ripple_carry_adder};
+use plugvolt_circuit::timing::TimingBudget;
+use plugvolt_cpu::energy::EnergyModel;
+use plugvolt_cpu::exec::{InstrClass, Rails};
+use plugvolt_cpu::freq::{FreqMhz, FreqTable};
+use plugvolt_cpu::microcode::MicrocodeUpdate;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_cpu::ucode_blob::UpdateBlob;
+use plugvolt_cpu::vr::VoltageRegulator;
+use plugvolt_des::rng::SimRng;
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_msr::oc_mailbox::{encode_offset_request, OcRequest, Plane};
+use plugvolt_msr::offset_limit::VoltageOffsetLimit;
+use plugvolt_msr::perf_status::PerfStatus;
+
+proptest! {
+    // ---------- MSR codecs ----------
+
+    #[test]
+    fn mailbox_roundtrip_quantizes_within_1mv(
+        offset in -1000i32..=999,
+        plane_idx in 0u8..5,
+    ) {
+        let plane = Plane::from_index(plane_idx).unwrap();
+        let req = OcRequest::write_offset(offset, plane);
+        let back = OcRequest::decode(req.encode()).unwrap();
+        prop_assert_eq!(back.plane(), plane);
+        prop_assert!(back.is_write());
+        prop_assert!((back.offset_mv() - offset).abs() <= 1,
+            "offset {} decoded {}", offset, back.offset_mv());
+        // Truncation in Algorithm 1 never deepens an undervolt.
+        if offset < 0 {
+            prop_assert!(back.offset_mv() >= offset);
+        }
+    }
+
+    #[test]
+    fn mailbox_matches_paper_algorithm1(offset in -999i32..=999, plane in 0u8..5) {
+        prop_assert_eq!(
+            OcRequest::write_offset(offset, Plane::from_index(plane).unwrap()).encode(),
+            encode_offset_request(offset, plane)
+        );
+    }
+
+    #[test]
+    fn perf_status_roundtrip(freq_ratio in 1u32..=255, mv in 0.0f64..7_900.0) {
+        let s = PerfStatus::new(freq_ratio * 100, mv);
+        let back = PerfStatus::decode(s.encode());
+        prop_assert_eq!(back.freq_mhz(), freq_ratio * 100);
+        prop_assert!((back.voltage_mv() - mv).abs() < 0.13);
+    }
+
+    #[test]
+    fn offset_limit_clamp_is_idempotent_and_bounded(
+        bound in -900i32..=0,
+        offset in -1000i32..=999,
+    ) {
+        let limit = VoltageOffsetLimit::new(bound);
+        let req = OcRequest::write_offset(offset, Plane::Core);
+        let once = limit.clamp(req);
+        let twice = limit.clamp(once);
+        prop_assert_eq!(once, twice, "clamp must be idempotent");
+        // Clamped output never deeper than the bound (in native units).
+        let bound_units = plugvolt_msr::oc_mailbox::mv_to_units(bound);
+        prop_assert!(once.offset_units() >= bound_units);
+    }
+
+    // ---------- characterization map ----------
+
+    #[test]
+    fn charmap_classification_is_monotone_in_depth(
+        onset in -290i32..=-20,
+        width in 1i32..=60,
+        freq in 500u32..=5_000,
+        probe_a in -320i32..=0,
+        probe_b in -320i32..=0,
+    ) {
+        let mut map = CharacterizationMap::new("prop", 0, -300);
+        map.insert_band(FreqMhz(freq), FreqBand {
+            fault_onset_mv: Some(onset),
+            crash_mv: Some(onset - width),
+        });
+        let rank = |s: StateClass| match s {
+            StateClass::Safe => 0,
+            StateClass::Unsafe => 1,
+            StateClass::Crash => 2,
+        };
+        let (hi, lo) = if probe_a >= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
+        // Going deeper (more negative) never makes the state safer.
+        prop_assert!(
+            rank(map.classify(FreqMhz(freq), lo)) >= rank(map.classify(FreqMhz(freq), hi)),
+            "lo={} hi={}", lo, hi
+        );
+    }
+
+    #[test]
+    fn charmap_interpolation_never_under_protects(
+        onset_a in -290i32..=-20,
+        onset_b in -290i32..=-20,
+        probe in -300i32..=-1,
+        mid in 1_100u32..=1_900,
+    ) {
+        let mut map = CharacterizationMap::new("prop", 0, -300);
+        map.insert_band(FreqMhz(1_000), FreqBand { fault_onset_mv: Some(onset_a), crash_mv: None });
+        map.insert_band(FreqMhz(2_000), FreqBand { fault_onset_mv: Some(onset_b), crash_mv: None });
+        // If either neighbour says unsafe at this depth, the
+        // interpolated frequency must too.
+        let either_unsafe = probe <= onset_a.max(onset_b);
+        let interpolated = map.classify(FreqMhz(mid), probe);
+        if either_unsafe {
+            prop_assert_ne!(interpolated, StateClass::Safe);
+        }
+    }
+
+    #[test]
+    fn maximal_safe_state_classifies_safe_everywhere(
+        onsets in proptest::collection::vec(-290i32..=-20, 1..8),
+    ) {
+        let mut map = CharacterizationMap::new("prop", 0, -300);
+        for (i, onset) in onsets.iter().enumerate() {
+            map.insert_band(FreqMhz(1_000 + 500 * i as u32), FreqBand {
+                fault_onset_mv: Some(*onset),
+                crash_mv: Some(onset - 30),
+            });
+        }
+        let mss = map.maximal_safe_offset_mv(0).unwrap();
+        for (f, _) in map.iter() {
+            prop_assert_eq!(map.classify(f, mss), StateClass::Safe,
+                "mss {} unsafe at {}", mss, f);
+        }
+    }
+
+    // ---------- circuit physics ----------
+
+    #[test]
+    fn alpha_power_delay_monotone(
+        vth in 200.0f64..500.0,
+        alpha in 1.0f64..2.0,
+        v1 in 550.0f64..1_400.0,
+        dv in 1.0f64..300.0,
+    ) {
+        prop_assume!(v1 > vth + 50.0);
+        let m = AlphaPowerModel::new(50.0, vth, alpha);
+        prop_assert!(m.delay_ps(v1) >= m.delay_ps(v1 + dv));
+    }
+
+    #[test]
+    fn timing_budget_shrinks_with_frequency(
+        f1 in 400u32..4_800,
+        df in 100u32..1_000,
+    ) {
+        let a = TimingBudget::for_frequency_mhz(f1, 30.0, 10.0);
+        let b = TimingBudget::for_frequency_mhz(f1 + df, 30.0, 10.0);
+        prop_assert!(b.available_ps() <= a.available_ps());
+    }
+
+    #[test]
+    fn multiplier_depth_monotone_in_operand_width(
+        a_bits in 1u32..=64,
+        b_bits in 1u32..=64,
+    ) {
+        let mul = MultiplierUnit::default();
+        let mask = |bits: u32| if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let narrow = mul.depth_for(mask(a_bits) >> 1, mask(b_bits) >> 1);
+        let wide = mul.depth_for(mask(a_bits), mask(b_bits));
+        prop_assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn fault_probability_monotone(slack in -200.0f64..200.0, d in 0.1f64..50.0) {
+        let fm = FaultModel::default();
+        prop_assert!(fm.fault_probability(slack - d) >= fm.fault_probability(slack));
+    }
+
+    #[test]
+    fn binomial_within_support(n in 0u64..=2_000_000, p in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = SimRng::from_seed_label(seed, "prop-binom");
+        let k = sample_binomial(n, p, &mut rng);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn flip_masks_are_nonzero_and_in_window(sig in 0u32..=80, seed in 0u64..500) {
+        let mut rng = SimRng::from_seed_label(seed, "prop-mask");
+        let mask = sample_flip_mask(sig, &mut rng);
+        prop_assert_ne!(mask, 0);
+        let sig = sig.clamp(2, 64);
+        if sig < 64 {
+            prop_assert_eq!(mask >> sig, 0, "mask {:#x} beyond window {}", mask, sig);
+        }
+    }
+
+    // ---------- gate-level ground truth ----------
+
+    #[test]
+    fn adder_netlist_equals_integer_add(x in 0u64..256, y in 0u64..256) {
+        let add = ripple_carry_adder(8);
+        prop_assert_eq!(add.compute(x, y), x + y);
+    }
+
+    #[test]
+    fn multiplier_netlist_equals_integer_mul(x in 0u64..64, y in 0u64..64) {
+        let mul = array_multiplier(6);
+        prop_assert_eq!(mul.compute(x, y), x * y);
+    }
+
+    // ---------- frequency table ----------
+
+    #[test]
+    fn quantize_lands_in_table(f in 0u32..10_000) {
+        let table = FreqTable::new(FreqMhz(400), FreqMhz(4_900), 100);
+        let q = table.quantize(FreqMhz(f));
+        prop_assert!(table.contains(q));
+        // Quantization moves by at most half a step (or clamps).
+        if (400..=4_900).contains(&f) {
+            prop_assert!((i64::from(q.mhz()) - i64::from(f)).abs() <= 50);
+        }
+    }
+
+    // ---------- microcode blobs ----------
+
+    #[test]
+    fn ucode_blob_round_trips(
+        revision in 1u32..=0xFFFF,
+        bound in -900i32..=0,
+        model_idx in 0usize..3,
+        date in 0u32..=0x1231_9999,
+    ) {
+        let model = CpuModel::ALL[model_idx];
+        let blob = UpdateBlob::package(
+            MicrocodeUpdate::maximal_safe_state(revision, bound),
+            model,
+            date,
+        );
+        let back = UpdateBlob::decode(&blob.encode()).unwrap();
+        prop_assert_eq!(back, blob);
+        prop_assert!(back.validate_for(model).is_ok());
+    }
+
+    #[test]
+    fn ucode_blob_single_bitflips_never_parse_as_different_update(
+        revision in 1u32..=0xFFFF,
+        bound in -900i32..=0,
+        bit in 0usize..64 * 8,
+    ) {
+        let blob = UpdateBlob::package(
+            MicrocodeUpdate::maximal_safe_state(revision, bound),
+            CpuModel::CometLake,
+            0x0101_2026,
+        );
+        let mut bytes = blob.encode();
+        let idx = (bit / 8) % bytes.len();
+        bytes[idx] ^= 1 << (bit % 8);
+        // Either rejected, or (checksum-colliding flips are impossible
+        // for single bits) parses back identically — it must never yield
+        // a *different* accepted update.
+        if let Ok(parsed) = UpdateBlob::decode(&bytes) {
+            prop_assert_eq!(parsed, blob);
+        }
+    }
+
+    // ---------- energy ----------
+
+    #[test]
+    fn energy_power_monotone_in_voltage_and_frequency(
+        v in 500.0f64..1_300.0,
+        dv in 1.0f64..200.0,
+        f in 400u32..4_900,
+        df in 100u32..1_000,
+    ) {
+        let m = EnergyModel::default();
+        prop_assert!(m.core_power_w(v + dv, f, true) > m.core_power_w(v, f, true));
+        prop_assert!(m.core_power_w(v, f + df, true) > m.core_power_w(v, f, true));
+        prop_assert!(m.core_power_w(v, f, false) < m.core_power_w(v, f, true));
+    }
+
+    // ---------- rails ----------
+
+    #[test]
+    fn rails_route_loads_to_cache_plane(core in 500.0f64..1_300.0, cache in 500.0f64..1_300.0) {
+        let rails = Rails { core_mv: core, cache_mv: cache };
+        prop_assert_eq!(rails.for_class(InstrClass::Load), cache);
+        for class in [InstrClass::Imul, InstrClass::Aesenc, InstrClass::Fma, InstrClass::AluAdd] {
+            prop_assert_eq!(rails.for_class(class), core);
+        }
+        let u = Rails::uniform(core);
+        prop_assert_eq!(u.core_mv, u.cache_mv);
+    }
+
+    // ---------- voltage regulator ----------
+
+    #[test]
+    fn vr_stays_between_start_and_target(
+        start in 600.0f64..1_300.0,
+        target in 600.0f64..1_300.0,
+        probe_us in 0u64..5_000,
+    ) {
+        let mut vr = VoltageRegulator::new(start, SimDuration::from_micros(100), 8.0);
+        vr.set_target(SimTime::ZERO, target);
+        let v = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(probe_us));
+        let (lo, hi) = if start <= target { (start, target) } else { (target, start) };
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={} outside [{}, {}]", v, lo, hi);
+    }
+
+    #[test]
+    fn vr_slew_rate_is_respected(
+        start in 600.0f64..1_300.0,
+        target in 600.0f64..1_300.0,
+        t1 in 0u64..3_000,
+        dt in 1u64..500,
+    ) {
+        let mut vr = VoltageRegulator::new(start, SimDuration::from_micros(50), 8.0);
+        vr.set_target(SimTime::ZERO, target);
+        let a = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(t1));
+        let b = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(t1 + dt));
+        prop_assert!((b - a).abs() <= 8.0 * dt as f64 + 1e-6);
+    }
+}

@@ -1,0 +1,247 @@
+//! The paper's two-thread framework (Sec. 4.2) as *actual scheduled
+//! threads*: a DVFS thread walking voltage offsets and an EXECUTE thread
+//! hammering `imul`, concurrently on different cores — cross-checked
+//! against the physics, plus an adversary/victim pairing under the
+//! polling module.
+
+use plugvolt::characterize::analytic_map;
+use plugvolt::prelude::*;
+use plugvolt_cpu::prelude::*;
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_kernel::prelude::*;
+use plugvolt_kernel::sched::{Scheduler, SimThread, Yield};
+use plugvolt_msr::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The DVFS thread of Algorithm 2: steps the offset deeper every dwell.
+struct DvfsThread {
+    offsets: Vec<i32>,
+    idx: usize,
+    dwell: SimDuration,
+    applied: Rc<RefCell<Vec<(SimTime, i32)>>>,
+}
+
+impl SimThread for DvfsThread {
+    fn name(&self) -> &str {
+        "dvfs-thread"
+    }
+    fn run(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        _quantum: SimDuration,
+    ) -> Result<Yield, MachineError> {
+        if self.idx >= self.offsets.len() {
+            return Ok(Yield::Done);
+        }
+        let offset = self.offsets[self.idx];
+        self.idx += 1;
+        let now = machine.now();
+        let req = OcRequest::write_offset(offset, Plane::Core).encode();
+        machine.cpu_mut().wrmsr(now, core, Msr::OC_MAILBOX, req)?;
+        self.applied.borrow_mut().push((now, offset));
+        Ok(Yield::Sleep(self.dwell))
+    }
+}
+
+/// The EXECUTE thread: tight imul batches, windowed fault log.
+struct ExecuteThread {
+    deadline: SimTime,
+    log: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    crashed: Rc<RefCell<bool>>,
+}
+
+impl SimThread for ExecuteThread {
+    fn name(&self) -> &str {
+        "execute-thread"
+    }
+    fn run(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        quantum: SimDuration,
+    ) -> Result<Yield, MachineError> {
+        if machine.now() >= self.deadline {
+            return Ok(Yield::Done);
+        }
+        let freq = machine.cpu().core_freq(core)?;
+        let n = quantum.cycles_at(freq.mhz()).max(1);
+        let now = machine.now();
+        match machine.cpu_mut().run_imul_loop(now, core, n) {
+            Ok(faults) => {
+                self.log.borrow_mut().push((now, faults));
+                Ok(Yield::Ready)
+            }
+            Err(plugvolt_cpu::package::PackageError::Crashed) => {
+                *self.crashed.borrow_mut() = true;
+                Ok(Yield::Done)
+            }
+            Err(e) => Err(MachineError::Package(e)),
+        }
+    }
+}
+
+#[test]
+fn concurrent_threads_reproduce_the_fault_onset() {
+    let model = CpuModel::CometLake;
+    let map = analytic_map(&model.spec());
+    let mut machine = Machine::new(model, 51);
+    let mut cpupower = CpuPower::new(&machine);
+    let fast = machine.cpu().spec().freq_table.max();
+    cpupower.frequency_set_all(&mut machine, fast).unwrap();
+    machine.advance(SimDuration::from_millis(1));
+
+    let applied = Rc::new(RefCell::new(Vec::new()));
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let crashed = Rc::new(RefCell::new(false));
+    let mut sched = Scheduler::new(&machine, SimDuration::from_micros(200));
+    sched.spawn_on(
+        CoreId(1),
+        Box::new(DvfsThread {
+            offsets: (0..30).map(|i| -100 - 5 * i).collect(),
+            idx: 0,
+            dwell: SimDuration::from_millis(2),
+            applied: Rc::clone(&applied),
+        }),
+    );
+    sched.spawn_on(
+        CoreId(0),
+        Box::new(ExecuteThread {
+            deadline: SimTime::ZERO + SimDuration::from_millis(70),
+            log: Rc::clone(&log),
+            crashed: Rc::clone(&crashed),
+        }),
+    );
+    match sched.run_until(&mut machine, SimTime::ZERO + SimDuration::from_millis(80)) {
+        Ok(()) => {}
+        // The sweep legitimately ends in a package crash (the deepest
+        // offsets are past the crash line); that is a valid campaign end.
+        Err(MachineError::Package(plugvolt_cpu::package::PackageError::Crashed)) => {
+            *crashed.borrow_mut() = true;
+        }
+        Err(e) => panic!("{e}"),
+    }
+
+    // Cross-check each fault window against the offset the DVFS thread
+    // had applied (allowing the VR latency): faults must only occur once
+    // the applied offset is at or past the map's onset.
+    let onset = map
+        .governing_band(fast)
+        .and_then(|b| b.fault_onset_mv)
+        .expect("onset at f_max");
+    let applied = applied.borrow();
+    let mut fault_windows = 0;
+    for &(t, faults) in log.borrow().iter() {
+        if faults == 0 {
+            continue;
+        }
+        fault_windows += 1;
+        // The offset in force ≈ the last one applied ≥ 1 ms before t
+        // (mailbox latency + ramp).
+        let in_force = applied
+            .iter()
+            .rev()
+            .find(|(ta, _)| t.saturating_duration_since(*ta) >= SimDuration::from_millis(1))
+            .map_or(0, |&(_, o)| o);
+        assert!(
+            in_force <= onset + 10,
+            "faults at {t} with only {in_force} mV applied (onset {onset})"
+        );
+    }
+    assert!(
+        fault_windows > 0 || *crashed.borrow(),
+        "the sweep must eventually fault or crash the EXECUTE thread"
+    );
+}
+
+#[test]
+fn scheduled_adversary_loses_to_the_polling_module() {
+    // Adversary thread re-undervolts every 3 ms; victim thread signs
+    // continuously; the module runs as a kernel module underneath both.
+    struct AdversaryThread;
+    impl SimThread for AdversaryThread {
+        fn name(&self) -> &str {
+            "adversary"
+        }
+        fn run(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            _quantum: SimDuration,
+        ) -> Result<Yield, MachineError> {
+            let now = machine.now();
+            // Re-pin the victim core fast (undoing any frequency
+            // fallback), then re-apply the deep undervolt.
+            let fast = machine.cpu().spec().freq_table.max();
+            let ctl = plugvolt_msr::perf_status::encode_perf_ctl(fast.mhz());
+            let _ = machine
+                .cpu_mut()
+                .wrmsr(now, CoreId(0), Msr::IA32_PERF_CTL, ctl)?;
+            let req = OcRequest::write_offset(-250, Plane::Core).encode();
+            let _ = machine.cpu_mut().wrmsr(now, core, Msr::OC_MAILBOX, req)?;
+            Ok(Yield::Sleep(SimDuration::from_millis(3)))
+        }
+    }
+    struct VictimThread {
+        faults: Rc<RefCell<u64>>,
+        until: SimTime,
+    }
+    impl SimThread for VictimThread {
+        fn name(&self) -> &str {
+            "victim"
+        }
+        fn run(
+            &mut self,
+            machine: &mut Machine,
+            core: CoreId,
+            quantum: SimDuration,
+        ) -> Result<Yield, MachineError> {
+            if machine.now() >= self.until {
+                return Ok(Yield::Done);
+            }
+            let freq = machine.cpu().core_freq(core)?;
+            let n = quantum.cycles_at(freq.mhz()).max(1);
+            let now = machine.now();
+            *self.faults.borrow_mut() += machine.cpu_mut().run_imul_loop(now, core, n)?;
+            Ok(Yield::Ready)
+        }
+    }
+
+    let model = CpuModel::CometLake;
+    let map = analytic_map(&model.spec());
+    let mut machine = Machine::new(model, 52);
+    let deployed = deploy(
+        &mut machine,
+        &map,
+        Deployment::PollingModule(PollConfig::default()),
+    )
+    .unwrap();
+    let mut cpupower = CpuPower::new(&machine);
+    let fast = machine.cpu().spec().freq_table.max();
+    cpupower.frequency_set_all(&mut machine, fast).unwrap();
+    machine.advance(SimDuration::from_millis(1));
+
+    let faults = Rc::new(RefCell::new(0u64));
+    let mut sched = Scheduler::new(&machine, SimDuration::from_micros(200));
+    sched.spawn_on(CoreId(1), Box::new(AdversaryThread));
+    sched.spawn_on(
+        CoreId(0),
+        Box::new(VictimThread {
+            faults: Rc::clone(&faults),
+            until: machine.now() + SimDuration::from_millis(50),
+        }),
+    );
+    let horizon = machine.now() + SimDuration::from_millis(60);
+    sched.run_until(&mut machine, horizon).unwrap();
+
+    assert_eq!(*faults.borrow(), 0, "victim faulted under the module");
+    let stats = deployed.poll_stats.unwrap();
+    assert!(
+        stats.borrow().detections >= 10,
+        "module detected {} of ~17 attack rounds",
+        stats.borrow().detections
+    );
+    assert!(stats.borrow().restores >= 10);
+}
