@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI for the Plug Your Volt reproduction. Entirely offline: every
+# dependency is an in-tree path crate (see shims/), so this runs with no
+# registry access.
+#
+#   1. formatting          cargo fmt --check
+#   2. static analysis     plugvolt-lint (determinism & MSR-safety gate)
+#   3. build               cargo build --release (whole workspace)
+#   4. tests               cargo test -q (tier-1 suite + all members)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$1"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "plugvolt-lint --workspace"
+# JSON report for tooling; exit status is the gate (nonzero on any
+# error-severity finding). Suppressions: // plugvolt-lint: allow(<rule>)
+cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --workspace --json
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test -q"
+cargo test -q --workspace
+
+step "all green"

@@ -1,0 +1,151 @@
+//! `plugvolt-lint` — determinism & MSR-safety gate for the workspace.
+//!
+//! ```text
+//! plugvolt-lint [--workspace | --root <path>] [--json] [--min-severity <s>]
+//!               [--rule <id>]... [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (no error-severity findings), `1` gate failed,
+//! `2` usage or I/O error.
+
+use plugvolt_analysis::{
+    human_report, json_report, registry, scan_workspace, ScanOptions, Severity,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    min_severity: Severity,
+    only_rules: Vec<String>,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "plugvolt-lint: determinism & MSR-safety static analysis\n\
+     \n\
+     USAGE:\n\
+     \x20 plugvolt-lint [--workspace] [--root <path>] [--json]\n\
+     \x20               [--min-severity info|warning|error] [--rule <id>]...\n\
+     \x20               [--list-rules]\n\
+     \n\
+     OPTIONS:\n\
+     \x20 --workspace        scan the enclosing cargo workspace (default)\n\
+     \x20 --root <path>      scan an explicit directory instead\n\
+     \x20 --json             machine-readable report on stdout\n\
+     \x20 --min-severity <s> hide findings below this severity in output\n\
+     \x20 --rule <id>        run only the named rule (repeatable)\n\
+     \x20 --list-rules       print the rule registry and exit\n\
+     \n\
+     Suppress a finding with `// plugvolt-lint: allow(<rule-id>)` on the\n\
+     offending line or alone on the line above it.\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::new(),
+        json: false,
+        min_severity: Severity::Info,
+        only_rules: Vec::new(),
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--json" => args.json = true,
+            "--min-severity" => {
+                let v = it.next().ok_or("--min-severity needs a value")?;
+                args.min_severity =
+                    Severity::parse(&v).ok_or_else(|| format!("unknown severity `{v}`"))?;
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a rule id")?;
+                // A typo'd id would otherwise silently run zero rules and
+                // report the workspace clean.
+                if !registry().iter().any(|r| r.meta().id == v) {
+                    return Err(format!("unknown rule id `{v}` (see --list-rules)"));
+                }
+                args.only_rules.push(v);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.root.as_os_str().is_empty() {
+        args.root = find_workspace_root()?;
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` table.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in registry() {
+            let meta = rule.meta();
+            println!(
+                "{:<26} {:<8} {}",
+                meta.id,
+                meta.severity.name(),
+                meta.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let options = ScanOptions {
+        only_rules: args.only_rules,
+    };
+    let mut result = match scan_workspace(&args.root, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let gate_passes = result.passes_gate();
+    result.findings.retain(|f| f.severity >= args.min_severity);
+    if args.json {
+        print!("{}", json_report(&result));
+    } else {
+        print!("{}", human_report(&result));
+    }
+    if gate_passes {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

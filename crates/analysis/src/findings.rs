@@ -1,0 +1,75 @@
+//! Finding and severity types shared by every rule.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Only [`Severity::Error`] gates the build (tier-1 asserts zero of
+/// them); warnings surface in reports and CI logs but do not fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: style or context notes.
+    Info,
+    /// Should be fixed, does not gate the build.
+    Warning,
+    /// Gates the build: tier-1 requires zero of these.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in reports and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a CLI severity name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" | "warn" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `no-wall-clock`.
+    pub rule: &'static str,
+    /// Severity the rule assigns.
+    pub severity: Severity,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the matched token, when known.
+    pub column: usize,
+    /// What went wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path, self.line, self.column, self.severity, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,49 @@
+//! `plugvolt-analysis` — the workspace's determinism & MSR-safety gate.
+//!
+//! The paper's countermeasure is only sound if the characterized
+//! safe/unsafe map is reproducible: the software substitution stakes
+//! everything on *deterministic* simulation. Nothing in the language
+//! enforces that — any crate can read wall-clock time, pull ambient
+//! randomness, iterate a `HashMap` into a results file, or poke a
+//! voltage-offset MSR without passing the `plugvolt-msr` clamp. Each of
+//! those is a bug class that silently invalidates the Figure 2–4
+//! reproductions (or, for the MSR rule, re-opens the exact hole the
+//! paper's Sec. 5 microcode/hardware clamp closes).
+//!
+//! `plugvolt-lint` is a lightweight, dependency-free source scanner:
+//! line/token level, no `syn`, works offline. It masks comments and
+//! string literals, tracks `#[cfg(test)]` spans, then runs a registry of
+//! rules over every Rust file in the workspace. Findings carry a
+//! severity; the tier-1 test `tests/static_analysis.rs` asserts the tree
+//! has **zero error-severity findings**, making the gate part of the
+//! build contract rather than advice.
+//!
+//! Suppression is per line: `// plugvolt-lint: allow(rule-id)` on the
+//! offending line, or alone on the line directly above it.
+//!
+//! # Examples
+//!
+//! ```
+//! use plugvolt_analysis::{registry, scan_str, Severity};
+//!
+//! let findings = scan_str(
+//!     "crates/core/src/charmap.rs",
+//!     "use std::collections::HashMap;\n",
+//! );
+//! assert!(findings
+//!     .iter()
+//!     .any(|f| f.rule == "no-unordered-iteration" && f.severity == Severity::Error));
+//! assert!(registry().len() >= 6);
+//! ```
+
+pub mod findings;
+pub mod report;
+pub mod rules;
+pub mod runner;
+pub mod source;
+
+pub use findings::{Finding, Severity};
+pub use report::{human_report, json_report};
+pub use rules::{registry, Rule, RuleMeta};
+pub use runner::{scan_str, scan_workspace, ScanOptions, ScanResult};
+pub use source::SourceFile;

@@ -1,0 +1,121 @@
+//! Human-readable and JSON report rendering.
+//!
+//! The JSON writer is hand-rolled (the analyzer is dependency-free by
+//! design — it gates the crates the serde shim lives in, so it must not
+//! depend on them). The schema is pinned by a snapshot test.
+
+use crate::findings::Severity;
+use crate::runner::ScanResult;
+
+/// Schema version stamped into JSON reports; bump on breaking changes.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the classic compiler-style text report.
+#[must_use]
+pub fn human_report(result: &ScanResult) -> String {
+    let mut out = String::new();
+    for f in &result.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {} [{}] {}\n",
+            f.path, f.line, f.column, f.severity, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    out.push_str(&format!(
+        "plugvolt-lint: {} files scanned, {} errors, {} warnings, {} info\n",
+        result.files_scanned,
+        result.count(Severity::Error),
+        result.count(Severity::Warning),
+        result.count(Severity::Info),
+    ));
+    out
+}
+
+/// Renders the machine-readable JSON report.
+#[must_use]
+pub fn json_report(result: &ScanResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {JSON_SCHEMA_VERSION},\n"));
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"counts\": {{\"error\": {}, \"warning\": {}, \"info\": {}}},\n",
+        result.files_scanned,
+        result.count(Severity::Error),
+        result.count(Severity::Warning),
+        result.count(Severity::Info),
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
+             \"column\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(f.rule),
+            json_str(f.severity.name()),
+            json_str(&f.path),
+            f.line,
+            f.column,
+            json_str(&f.message),
+            json_str(&f.snippet),
+        ));
+    }
+    if !result.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::scan_str;
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn empty_scan_renders() {
+        let result = ScanResult {
+            files_scanned: 0,
+            findings: Vec::new(),
+        };
+        let json = json_report(&result);
+        assert!(json.contains("\"findings\": []"));
+        assert!(human_report(&result).contains("0 errors"));
+    }
+
+    #[test]
+    fn report_counts_match_findings() {
+        let result = ScanResult {
+            files_scanned: 1,
+            findings: scan_str("crates/kernel/src/x.rs", "use std::time::SystemTime;\n"),
+        };
+        assert!(human_report(&result).contains("1 errors"));
+        assert!(json_report(&result).contains("\"error\": 1"));
+    }
+}

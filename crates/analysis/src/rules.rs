@@ -1,0 +1,537 @@
+//! The lint registry: six determinism & MSR-safety rules.
+//!
+//! Each rule documents its paper rationale inline; the README's "Static
+//! analysis & determinism guarantees" section mirrors this table.
+
+use crate::findings::{Finding, Severity};
+use crate::source::{FileRole, SourceFile};
+
+/// Static metadata describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable identifier used in reports and suppression comments.
+    pub id: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// A lint rule: scoped token scan over one pre-processed source file.
+pub trait Rule: Sync {
+    /// The rule's metadata.
+    fn meta(&self) -> RuleMeta;
+
+    /// Appends findings for `file` to `out`. Implementations must not
+    /// report suppressed lines; use [`emit`] which checks for them.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// Pushes a finding unless the file suppresses the rule on that line.
+pub fn emit(
+    file: &SourceFile,
+    meta: RuleMeta,
+    line: usize,
+    column: usize,
+    message: String,
+    out: &mut Vec<Finding>,
+) {
+    if file.is_suppressed(meta.id, line) {
+        return;
+    }
+    out.push(Finding {
+        rule: meta.id,
+        severity: meta.severity,
+        path: file.path.clone(),
+        line,
+        column,
+        message,
+        snippet: file.snippet(line),
+    });
+}
+
+/// The full rule registry, in reporting order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoWallClock),
+        Box::new(NoAmbientRng),
+        Box::new(NoUnorderedIteration),
+        Box::new(MsrWriteDiscipline),
+        Box::new(NoUnwrapInLib),
+        Box::new(FloatAccumulationOrder),
+    ]
+}
+
+/// Crates whose library code must be wall-clock free: everything that
+/// executes inside the simulated timeline. `bench`, shims and the CLI
+/// may time real-world things.
+const SIM_CRATES: [&str; 6] = ["des", "circuit", "cpu", "kernel", "core", "attacks"];
+
+/// Modules that emit experiment results; iteration order there is
+/// output order, so unordered containers are forbidden outright.
+const RESULT_MODULES: [&str; 4] = ["charmap", "characterize", "maximal", "experiments"];
+
+fn is_sim_crate(file: &SourceFile) -> bool {
+    SIM_CRATES.contains(&file.crate_name.as_str())
+}
+
+fn is_result_module(file: &SourceFile) -> bool {
+    let stem = file
+        .path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or_default();
+    RESULT_MODULES.contains(&stem) || file.path.split('/').any(|seg| seg == "experiments")
+}
+
+/// Rule 1 — `no-wall-clock`.
+///
+/// Simulation crates must not read host time: results would depend on
+/// scheduler noise and the characterized map (Figures 2–4) would stop
+/// being reproducible. All time comes from the DES clock
+/// (`plugvolt_des::time`).
+pub struct NoWallClock;
+
+impl Rule for NoWallClock {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "no-wall-clock",
+            severity: Severity::Error,
+            summary: "std::time::{Instant,SystemTime} banned in simulation crates; \
+                      use the plugvolt-des simulated clock",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !is_sim_crate(file) || matches!(file.role, FileRole::Bench) {
+            return;
+        }
+        for ident in ["Instant", "SystemTime"] {
+            for (line, column) in file.find_ident(ident) {
+                if file.is_test_code(line) {
+                    continue;
+                }
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    format!(
+                        "`{ident}` reads host wall-clock time inside simulation crate \
+                         `{}`; derive all time from the deterministic DES clock \
+                         (plugvolt_des::time::SimTime)",
+                        file.crate_name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Rule 2 — `no-ambient-rng`.
+///
+/// Ambient randomness (`rand::thread_rng`, `random()`, OS entropy) makes
+/// every run unique, which is exactly what a characterization framework
+/// cannot afford. All randomness flows through the seeded, labelled
+/// `plugvolt_des::rng::SimRng` streams.
+pub struct NoAmbientRng;
+
+impl Rule for NoAmbientRng {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "no-ambient-rng",
+            severity: Severity::Error,
+            summary: "ambient RNG (rand::thread_rng / random() / OS entropy) banned; \
+                      use seeded plugvolt-des::rng streams",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name.starts_with("shims/") {
+            return;
+        }
+        for ident in ["thread_rng", "from_entropy", "getrandom", "OsRng"] {
+            for (line, column) in file.find_ident(ident) {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    format!(
+                        "`{ident}` draws ambient randomness; every stochastic component \
+                         must take a seeded plugvolt_des::rng::SimRng stream"
+                    ),
+                    out,
+                );
+            }
+        }
+        // A bare `rand` path segment (e.g. `rand::random()`, `use rand::…`)
+        // means the external crate: banned workspace-wide since the
+        // in-tree generator replaced it.
+        for (line, column) in file.find_ident("rand") {
+            let text = &file.masked[line - 1];
+            let after = &text[column - 1 + "rand".len()..];
+            if after.starts_with("::") || text.trim_start().starts_with("use rand") {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    "the external `rand` crate is banned (hermetic build, deterministic \
+                     streams); use plugvolt_des::rng::SimRng"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3 — `no-unordered-iteration`.
+///
+/// In result-producing modules, `HashMap`/`HashSet` iteration order leaks
+/// straight into emitted artifacts. `BTreeMap`/`BTreeSet` (or an explicit
+/// sort before emitting) keeps Figures 2–4 byte-stable across runs and
+/// Rust versions.
+pub struct NoUnorderedIteration;
+
+impl Rule for NoUnorderedIteration {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "no-unordered-iteration",
+            severity: Severity::Error,
+            summary: "HashMap/HashSet banned in result-producing modules \
+                      (charmap, characterize, maximal, experiments); use BTree* or sort",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !is_result_module(file) {
+            return;
+        }
+        for ident in ["HashMap", "HashSet"] {
+            for (line, column) in file.find_ident(ident) {
+                if file.is_test_code(line) {
+                    continue;
+                }
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    format!(
+                        "`{ident}` iteration order is unspecified and leaks into emitted \
+                         results in module `{}`; use BTreeMap/BTreeSet or sort before emit",
+                        file.path
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Rule 4 — `msr-write-discipline`.
+///
+/// The software analogue of the paper's Sec. 5 microcode/hardware clamp:
+/// every undervolt request must pass through `plugvolt-msr`'s
+/// `offset_limit` choke point. Raw `0x150`/`0x198` literals outside
+/// `crates/msr` are bypasses waiting to happen — V0LTpwn worked because
+/// undervolting paths existed that no single clamp covered.
+pub struct MsrWriteDiscipline;
+
+impl Rule for MsrWriteDiscipline {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "msr-write-discipline",
+            severity: Severity::Error,
+            summary: "raw MSR 0x150/0x198 literals banned outside crates/msr; \
+                      go through plugvolt_msr::addr constants and the offset_limit clamp",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name == "msr" {
+            return;
+        }
+        for literal in ["0x150", "0x198"] {
+            for (line, column) in find_hex_literal(file, literal) {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    format!(
+                        "raw MSR literal `{literal}` outside crates/msr bypasses the \
+                         offset_limit clamp (the Sec. 5 choke point); use \
+                         plugvolt_msr::addr::Msr::{} instead",
+                        if literal == "0x150" {
+                            "OC_MAILBOX"
+                        } else {
+                            "IA32_PERF_STATUS"
+                        }
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Finds a hex literal token (case-insensitive on the payload digits),
+/// rejecting matches embedded in longer literals like `0x1500`.
+fn find_hex_literal(file: &SourceFile, literal: &str) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    let lower = literal.to_ascii_lowercase();
+    for (i, line) in file.masked.iter().enumerate() {
+        let hay = line.to_ascii_lowercase();
+        let mut start = 0;
+        while let Some(pos) = hay[start..].find(&lower) {
+            let at = start + pos;
+            let before_ok = at == 0
+                || !hay[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after = at + lower.len();
+            let after_ok = !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_');
+            if before_ok && after_ok {
+                hits.push((i + 1, at + 1));
+            }
+            start = at + lower.len();
+        }
+    }
+    hits
+}
+
+/// Rule 5 — `no-unwrap-in-lib`.
+///
+/// Library code aborting the whole simulation on a recoverable error is
+/// how long characterization campaigns die at hour six. Return typed
+/// errors, or use `expect` with a message stating the invariant that
+/// makes the failure impossible. Test code is exempt.
+pub struct NoUnwrapInLib;
+
+impl Rule for NoUnwrapInLib {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "no-unwrap-in-lib",
+            severity: Severity::Warning,
+            summary: "unwrap()/expect(\"\")/panic! flagged in library crates; \
+                      return typed errors or expect with an invariant message",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !matches!(file.role, FileRole::Lib) || file.crate_name.starts_with("shims/") {
+            return;
+        }
+        for (line, column) in file.find_ident("unwrap") {
+            if file.is_test_code(line) {
+                continue;
+            }
+            let text = &file.masked[line - 1];
+            let is_call = text[column - 1 + "unwrap".len()..]
+                .trim_start()
+                .starts_with("()");
+            let is_method = text[..column - 1].trim_end().ends_with('.');
+            if is_call && is_method {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    "`.unwrap()` in library code aborts the whole simulation; return a \
+                     typed error or use `.expect(\"<invariant>\")`"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+        for (line, column) in file.find_ident("expect") {
+            if file.is_test_code(line) {
+                continue;
+            }
+            // Empty message check must look at the raw line (masked text
+            // blanks string contents).
+            let raw = &file.lines[line - 1];
+            // Columns come from masked text; masking a non-ASCII string
+            // character to one space can shift byte offsets, so index
+            // defensively.
+            if raw
+                .get(column - 1..)
+                .is_some_and(|r| r.starts_with("expect(\"\")"))
+            {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    "`.expect(\"\")` carries no invariant; state why the failure is \
+                     impossible or return a typed error"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+        for (line, column) in file.find_ident("panic") {
+            if file.is_test_code(line) {
+                continue;
+            }
+            let text = &file.masked[line - 1];
+            if text[column - 1 + "panic".len()..].starts_with('!') {
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    "`panic!` in library code; prefer a typed error (panics are \
+                     acceptable only for documented invariant violations)"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Rule 6 — `float-accumulation-order`.
+///
+/// Floating-point addition is not associative: folding or summing floats
+/// out of an unordered collection produces run-dependent low bits, which
+/// then leak into serialized results. Accumulate over ordered containers
+/// or sort first.
+pub struct FloatAccumulationOrder;
+
+impl Rule for FloatAccumulationOrder {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "float-accumulation-order",
+            severity: Severity::Warning,
+            summary: "fold/sum over float iterators derived from unordered collections; \
+                      float addition is order-sensitive, iterate a BTree* or sort first",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Identifiers bound to Hash* containers anywhere in the file.
+        let mut hash_idents: Vec<String> = Vec::new();
+        for (i, _) in file.find_ident("HashMap") {
+            if let Some(name) = binding_name(&file.masked[i - 1]) {
+                hash_idents.push(name);
+            }
+        }
+        for (i, _) in file.find_ident("HashSet") {
+            if let Some(name) = binding_name(&file.masked[i - 1]) {
+                hash_idents.push(name);
+            }
+        }
+        for (i, masked) in file.masked.iter().enumerate() {
+            let line = i + 1;
+            if file.is_test_code(line) {
+                continue;
+            }
+            let accumulates = masked.contains(".sum::<f64>()")
+                || masked.contains(".sum::<f32>()")
+                || masked.contains(".fold(");
+            if !accumulates {
+                continue;
+            }
+            let from_hash_ident = hash_idents.iter().any(|id| {
+                [
+                    ".iter()",
+                    ".values()",
+                    ".keys()",
+                    ".into_iter()",
+                    ".drain()",
+                ]
+                .iter()
+                .any(|m| masked.contains(&format!("{id}{m}")))
+            });
+            let inline_hash = masked.contains("HashMap") || masked.contains("HashSet");
+            if from_hash_ident || inline_hash {
+                let column = masked
+                    .find(".fold(")
+                    .or_else(|| masked.find(".sum::"))
+                    .map_or(1, |p| p + 1);
+                emit(
+                    file,
+                    self.meta(),
+                    line,
+                    column,
+                    "float accumulation over an unordered collection: addition order \
+                     varies per run and perturbs low bits of emitted results; iterate \
+                     a BTree* container or sort before accumulating"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// For a masked line like `let totals: HashMap<…> = …` or
+/// `let mut seen = HashSet::new()`, the bound identifier.
+fn binding_name(masked_line: &str) -> Option<String> {
+    let after_let = masked_line.trim_start().strip_prefix("let ")?;
+    let after_mut = after_let
+        .trim_start()
+        .strip_prefix("mut ")
+        .unwrap_or(after_let);
+    let name: String = after_mut
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        for rule in registry() {
+            rule.check(&file, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_sim_code_has_no_findings() {
+        let findings = scan(
+            "crates/des/src/clock.rs",
+            "use crate::time::SimTime;\npub fn tick(t: SimTime) -> SimTime { t }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn hex_literal_boundaries() {
+        let file = SourceFile::new("crates/cpu/src/x.rs", "let a = 0x1500; let b = 0x150;\n");
+        let hits = find_hex_literal(&file, "0x150");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], (1, 25));
+    }
+
+    #[test]
+    fn binding_name_extraction() {
+        assert_eq!(
+            binding_name("    let mut totals: HashMap<u32, f64> = HashMap::new();"),
+            Some("totals".to_string())
+        );
+        assert_eq!(
+            binding_name("let seen = HashSet::new();"),
+            Some("seen".to_string())
+        );
+        assert_eq!(binding_name("totals.insert(1, 2.0);"), None);
+    }
+}

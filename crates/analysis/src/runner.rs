@@ -1,0 +1,148 @@
+//! Workspace walking and rule execution.
+
+use crate::findings::{Finding, Severity};
+use crate::rules::registry;
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// What to scan and how.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Only rules with these ids run; empty means all.
+    pub only_rules: Vec<String>,
+}
+
+/// The outcome of a scan.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Files scanned, workspace-relative.
+    pub files_scanned: usize,
+    /// All findings, ordered by path then line.
+    pub findings: Vec<Finding>,
+}
+
+impl ScanResult {
+    /// Number of findings at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the tree passes the build gate (zero error findings).
+    #[must_use]
+    pub fn passes_gate(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+}
+
+/// Directories never scanned: build output, VCS metadata, and lint
+/// fixtures (which contain violations on purpose).
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
+
+/// Scans every `.rs` file under `root` (a workspace checkout) with the
+/// full rule registry.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when `root` cannot be read.
+pub fn scan_workspace(root: &Path, options: &ScanOptions) -> std::io::Result<ScanResult> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let rules = active_rules(options);
+    let mut findings = Vec::new();
+    let files_scanned = paths.len();
+    for rel in &paths {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::new(&rel.to_string_lossy(), &text);
+        for rule in &rules {
+            rule.check(&file, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.column, a.rule).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.column,
+            b.rule,
+        ))
+    });
+    Ok(ScanResult {
+        files_scanned,
+        findings,
+    })
+}
+
+/// Scans a single in-memory file with the full registry — the embedding
+/// used by fixture tests and doc examples.
+#[must_use]
+pub fn scan_str(path: &str, text: &str) -> Vec<Finding> {
+    let file = SourceFile::new(path, text);
+    let mut findings = Vec::new();
+    for rule in registry() {
+        rule.check(&file, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
+    findings
+}
+
+fn active_rules(options: &ScanOptions) -> Vec<Box<dyn crate::rules::Rule>> {
+    registry()
+        .into_iter()
+        .filter(|r| {
+            options.only_rules.is_empty() || options.only_rules.iter().any(|id| id == r.meta().id)
+        })
+        .collect()
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_str_flags_and_sorts() {
+        let findings = scan_str(
+            "crates/cpu/src/demo.rs",
+            "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n",
+        );
+        assert_eq!(findings.len(), 2);
+        assert!(findings.windows(2).all(|w| w[0].line <= w[1].line));
+        assert!(findings.iter().all(|f| f.rule == "no-wall-clock"));
+    }
+
+    #[test]
+    fn gate_logic() {
+        let result = ScanResult {
+            files_scanned: 1,
+            findings: scan_str(
+                "crates/core/src/x.rs",
+                "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            ),
+        };
+        assert_eq!(result.count(Severity::Warning), 1);
+        assert!(result.passes_gate(), "warnings do not gate");
+    }
+}

@@ -1,0 +1,507 @@
+//! Source-file model: comment/string masking, `#[cfg(test)]` span
+//! tracking, suppression comments, and token scanning helpers.
+//!
+//! The scanner is deliberately line/token level — no `syn`, no parse
+//! tree — so it builds dependency-free and runs on a partially broken
+//! tree (the exact situation in which you most want a lint gate to keep
+//! working).
+
+/// Where in the workspace a file sits; several rules scope by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code under some crate's `src/`.
+    Lib,
+    /// A binary under `src/bin/`.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benchmarks under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+impl FileRole {
+    /// Lowercase name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FileRole::Lib => "lib",
+            FileRole::Bin => "bin",
+            FileRole::Test => "test",
+            FileRole::Bench => "bench",
+            FileRole::Example => "example",
+        }
+    }
+}
+
+/// A loaded, pre-processed Rust source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Crate the file belongs to (directory name under `crates/`, or
+    /// `suite` for the workspace-root package).
+    pub crate_name: String,
+    /// Role inferred from the path.
+    pub role: FileRole,
+    /// Raw source lines.
+    pub lines: Vec<String>,
+    /// Source lines with comment and string/char literal *contents*
+    /// replaced by spaces; structure (line count, column positions) is
+    /// preserved so findings point at real coordinates.
+    pub masked: Vec<String>,
+    /// `masked[i]` is inside a `#[cfg(test)] mod … { … }` span.
+    pub in_test_span: Vec<bool>,
+    /// Rules suppressed on each line via `// plugvolt-lint: allow(...)`.
+    pub suppressed: Vec<Vec<String>>,
+}
+
+impl SourceFile {
+    /// Builds the model from a path and its contents.
+    #[must_use]
+    pub fn new(path: &str, text: &str) -> Self {
+        let path = path.replace('\\', "/");
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let masked = mask_lines(text);
+        debug_assert_eq!(masked.len(), lines.len());
+        let in_test_span = test_spans(&masked);
+        let suppressed = suppressions(&lines);
+        SourceFile {
+            crate_name: crate_of(&path),
+            role: role_of(&path),
+            path,
+            lines,
+            masked,
+            in_test_span,
+            suppressed,
+        }
+    }
+
+    /// Whether `rule` is suppressed on 1-based `line`.
+    #[must_use]
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressed
+            .get(line - 1)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+    }
+
+    /// Whether 1-based `line` is inside a `#[cfg(test)]` module or the
+    /// file as a whole is test/bench code.
+    #[must_use]
+    pub fn is_test_code(&self, line: usize) -> bool {
+        matches!(self.role, FileRole::Test | FileRole::Bench)
+            || self.in_test_span.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// All occurrences of `ident` as an exact identifier in masked text:
+    /// `(line, column)`, both 1-based.
+    #[must_use]
+    pub fn find_ident(&self, ident: &str) -> Vec<(usize, usize)> {
+        let mut hits = Vec::new();
+        for (i, line) in self.masked.iter().enumerate() {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(ident) {
+                let at = start + pos;
+                let before_ok =
+                    at == 0 || !line[..at].chars().next_back().is_some_and(is_ident_char);
+                let after = at + ident.len();
+                let after_ok = !line[after..].chars().next().is_some_and(is_ident_char);
+                if before_ok && after_ok {
+                    hits.push((i + 1, at + 1));
+                }
+                start = at + ident.len();
+            }
+        }
+        hits
+    }
+
+    /// The raw source line at 1-based `line`, trimmed, for snippets.
+    #[must_use]
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    match parts.as_slice() {
+        ["shims", name, ..] => format!("shims/{name}"),
+        ["crates", name, ..] => (*name).to_string(),
+        _ => "suite".to_string(),
+    }
+}
+
+fn role_of(path: &str) -> FileRole {
+    let has = |seg: &str| path.split('/').any(|p| p == seg);
+    if has("benches") {
+        FileRole::Bench
+    } else if has("tests") {
+        FileRole::Test
+    } else if has("examples") {
+        FileRole::Example
+    } else if has("bin") {
+        FileRole::Bin
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Masks comments and string/char literal contents with spaces, keeping
+/// line breaks and column positions. Handles `//`, nested `/* */`,
+/// `"…"` with escapes, raw strings `r"…"`/`r#"…"#`, byte strings, and
+/// char literals (without tripping over lifetimes like `'a`).
+fn mask_lines(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev_is_ident(&cur)
+                    && raw_str_hashes(&chars[i..]).is_some()
+                {
+                    let (skip, hashes) = raw_str_hashes(&chars[i..]).expect("checked");
+                    state = State::RawStr(hashes);
+                    for _ in 0..skip {
+                        cur.push(' ');
+                    }
+                    cur.push('"');
+                    i += skip + 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&cur) {
+                    state = State::Str;
+                    cur.push(' ');
+                    cur.push('"');
+                    i += 2;
+                } else if c == '\'' && is_char_literal(&chars[i..]) {
+                    state = State::Char;
+                    cur.push('\'');
+                    i += 1;
+                } else {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.push_str("  ");
+                    i += 2;
+                } else {
+                    cur.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        // String-continuation escape: keep the line break.
+                        cur.push(' ');
+                        i += 1;
+                    } else {
+                        cur.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    cur.push('"');
+                    i += 1;
+                } else {
+                    cur.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..].iter().take(hashes).all(|&h| h == '#')
+                    && chars[i + 1..].len() >= hashes
+                {
+                    state = State::Code;
+                    cur.push('"');
+                    for _ in 0..hashes {
+                        cur.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    cur.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    cur.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    cur.push('\'');
+                    i += 1;
+                } else {
+                    cur.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.push(cur);
+    // `str::lines` drops a trailing newline's empty line (and yields
+    // nothing at all for empty input); mirror that.
+    if text.ends_with('\n') || text.is_empty() {
+        out.pop();
+    }
+    out
+}
+
+fn prev_is_ident(cur: &str) -> bool {
+    cur.chars().next_back().is_some_and(is_ident_char)
+}
+
+/// If `chars` starts a raw (byte) string like `r"`, `r#"`, `br##"`,
+/// returns `(chars before the quote, hash count)`.
+fn raw_str_hashes(chars: &[char]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while chars.get(i + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    (chars.get(i + hashes) == Some(&'"')).then_some((i + hashes, hashes))
+}
+
+/// Distinguishes `'x'`, `'\n'`, `'\u{1F600}'` from lifetimes `'a`.
+fn is_char_literal(chars: &[char]) -> bool {
+    match chars.get(1) {
+        Some('\\') => true,
+        Some(_) => chars.get(2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` spans by brace
+/// counting over masked text.
+fn test_spans(masked: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; masked.len()];
+    let mut i = 0;
+    while i < masked.len() {
+        let line = masked[i].trim();
+        if !(line.contains("#[cfg(test)]") || line.contains("# [cfg (test)]")) {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item.
+        let mut depth = 0_i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < masked.len() {
+            for c in masked[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            flags[j] = true;
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    flags
+}
+
+/// Parses `// plugvolt-lint: allow(rule-a, rule-b)` comments. A marker
+/// suppresses its own line; a marker alone on a line also suppresses the
+/// following line.
+fn suppressions(lines: &[String]) -> Vec<Vec<String>> {
+    const MARKER: &str = "plugvolt-lint:";
+    let mut out: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        let Some(pos) = line.find(MARKER) else {
+            continue;
+        };
+        let rest = line[pos + MARKER.len()..].trim_start();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split(')').next())
+        else {
+            continue;
+        };
+        let rules: Vec<String> = inner
+            .split([',', ' '])
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        out[i].extend(rules.iter().cloned());
+        // Standalone comment line: also cover the next line.
+        let standalone = line.trim_start().starts_with("//");
+        if standalone && i + 1 < lines.len() {
+            out[i + 1].extend(rules);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let f = SourceFile::new(
+            "crates/demo/src/lib.rs",
+            "let x = \"HashMap inside\"; // HashMap in comment\nlet m = HashMap::new();\n",
+        );
+        assert!(!f.masked[0].contains("HashMap"));
+        assert!(f.masked[1].contains("HashMap"));
+        assert_eq!(f.masked[0].len(), f.lines[0].len());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let f = SourceFile::new(
+            "crates/demo/src/lib.rs",
+            "let s = r#\"thread_rng\"#;\nlet c = '\"'; let l: &'static str = \"x\";\nlet t = thread_rng;\n",
+        );
+        assert!(!f.masked[0].contains("thread_rng"));
+        assert!(f.masked[1].contains("static"), "lifetime survives masking");
+        assert!(f.masked[2].contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::new(
+            "crates/demo/src/lib.rs",
+            "/* outer /* inner */ still comment HashMap */ let a = 1;\n",
+        );
+        assert!(!f.masked[0].contains("HashMap"));
+        assert!(f.masked[0].contains("let a = 1;"));
+    }
+
+    #[test]
+    fn finds_exact_identifiers_only() {
+        let f = SourceFile::new(
+            "crates/demo/src/lib.rs",
+            "random_prime(rng); random(); operand; rand::thread_rng();\n",
+        );
+        assert_eq!(f.find_ident("random").len(), 1);
+        assert_eq!(f.find_ident("rand").len(), 1);
+        assert!(f.find_ident("operand").len() == 1);
+    }
+
+    #[test]
+    fn test_span_detection() {
+        let src = "\
+pub fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+pub fn also_real() {}
+";
+        let f = SourceFile::new("crates/demo/src/lib.rs", src);
+        assert!(!f.is_test_code(1));
+        assert!(f.is_test_code(3));
+        assert!(f.is_test_code(4));
+        assert!(!f.is_test_code(6));
+    }
+
+    #[test]
+    fn suppression_same_line_and_next_line() {
+        let src = "\
+let a = bad(); // plugvolt-lint: allow(no-wall-clock)
+// plugvolt-lint: allow(no-ambient-rng, msr-write-discipline)
+let b = bad();
+let c = bad();
+";
+        let f = SourceFile::new("crates/demo/src/lib.rs", src);
+        assert!(f.is_suppressed("no-wall-clock", 1));
+        assert!(!f.is_suppressed("no-wall-clock", 2));
+        assert!(f.is_suppressed("no-ambient-rng", 3));
+        assert!(f.is_suppressed("msr-write-discipline", 3));
+        assert!(!f.is_suppressed("no-ambient-rng", 4));
+    }
+
+    #[test]
+    fn crate_and_role_classification() {
+        let f = SourceFile::new("crates/des/src/rng.rs", "");
+        assert_eq!(f.crate_name, "des");
+        assert_eq!(f.role, FileRole::Lib);
+        let f = SourceFile::new("crates/bench/benches/attacks.rs", "");
+        assert_eq!(f.role, FileRole::Bench);
+        let f = SourceFile::new("tests/determinism.rs", "");
+        assert_eq!(f.crate_name, "suite");
+        assert_eq!(f.role, FileRole::Test);
+        let f = SourceFile::new("shims/serde/src/lib.rs", "");
+        assert_eq!(f.crate_name, "shims/serde");
+        let f = SourceFile::new("crates/bench/src/bin/plugvolt-cli.rs", "");
+        assert_eq!(f.role, FileRole::Bin);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: deterministic code that must produce zero findings even in
+//! the strictest scope (a sim crate's result module). Mentions of banned
+//! names in comments or strings — Instant, thread_rng, HashMap, 0x150 —
+//! must be masked out.
+
+use std::collections::BTreeMap;
+
+/// Not a violation: "0x150" and "Instant::now()" only appear in text.
+pub fn summarize(samples: &BTreeMap<u32, f64>) -> f64 {
+    let banner = "HashMap is banned here; so is thread_rng";
+    let _ = banner;
+    samples.values().sum::<f64>()
+}

@@ -1,0 +1,14 @@
+//! Fixture: float reduction over a hash-ordered container. Float
+//! addition is not associative, so the total depends on iteration order.
+
+use std::collections::HashMap;
+
+pub fn total(by_core: &HashMap<u32, f64>) -> f64 {
+    let energies: HashMap<u32, f64> = by_core.clone();
+    energies.values().sum::<f64>()
+}
+
+pub fn folded(by_core: &HashMap<u32, f64>) -> f64 {
+    let watts: HashMap<u32, f64> = by_core.clone();
+    watts.values().fold(0.0, |acc, w| acc + w)
+}

@@ -1,0 +1,9 @@
+//! Fixture: raw overclocking-mailbox / perf-status MSR addresses outside
+//! `crates/msr`. All register access must flow through the typed `Msr`
+//! constants so the clamp of paper Sec. 5 cannot be bypassed.
+
+pub fn poke() -> u64 {
+    let mailbox = 0x150;
+    let status = 0x198u32;
+    mailbox + u64::from(status)
+}

@@ -1,0 +1,15 @@
+//! Fixture: ambient (OS-seeded) randomness. Every draw here would make
+//! a simulation run irreproducible.
+
+use rand::thread_rng;
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn reseed() -> u64 {
+    let rng = rand::rngs::OsRng;
+    let _ = rng;
+    0
+}

@@ -1,0 +1,15 @@
+//! Fixture: hash-ordered containers in a result-producing module.
+//! Iteration order would vary run-to-run, perturbing serialized output.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen = HashSet::new();
+    let mut out = HashMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            out.insert(x, 1);
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Fixture: panicking shortcuts in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock usage inside a simulation crate. Scanned by the
+//! integration tests under a virtual `crates/kernel/src/` path; never
+//! compiled and never scanned as part of the workspace (the runner
+//! skips `fixtures/` directories).
+
+use std::time::{Instant, SystemTime};
+
+pub fn tick() -> u128 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started.elapsed().as_nanos()
+}

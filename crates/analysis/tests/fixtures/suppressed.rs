@@ -1,0 +1,12 @@
+//! Fixture: the same violations as elsewhere, silenced with suppression
+//! comments — one same-line, one line-above, one `allow(all)`.
+
+use std::time::Instant; // plugvolt-lint: allow(no-wall-clock)
+
+pub fn timed() -> u128 {
+    // plugvolt-lint: allow(no-wall-clock)
+    let t = Instant::now();
+    // plugvolt-lint: allow(all)
+    let _ = Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,40 @@
+//! Pins the `--json` report schema. Downstream tooling (ci.sh, result
+//! archives) parses this output; if the shape must change, bump
+//! `JSON_SCHEMA_VERSION` and update this snapshot deliberately.
+
+use plugvolt_analysis::runner::ScanResult;
+use plugvolt_analysis::{json_report, scan_str};
+
+#[test]
+fn json_report_matches_snapshot() {
+    let result = ScanResult {
+        files_scanned: 1,
+        findings: scan_str("crates/kernel/src/fixture.rs", "use std::time::Instant;\n"),
+    };
+    let expected = r#"{
+  "schema_version": 1,
+  "files_scanned": 1,
+  "counts": {"error": 1, "warning": 0, "info": 0},
+  "findings": [
+    {"rule": "no-wall-clock", "severity": "error", "path": "crates/kernel/src/fixture.rs", "line": 1, "column": 16, "message": "`Instant` reads host wall-clock time inside simulation crate `kernel`; derive all time from the deterministic DES clock (plugvolt_des::time::SimTime)", "snippet": "use std::time::Instant;"}
+  ]
+}
+"#;
+    assert_eq!(json_report(&result), expected);
+}
+
+#[test]
+fn empty_report_matches_snapshot() {
+    let result = ScanResult {
+        files_scanned: 3,
+        findings: Vec::new(),
+    };
+    let expected = r#"{
+  "schema_version": 1,
+  "files_scanned": 3,
+  "counts": {"error": 0, "warning": 0, "info": 0},
+  "findings": []
+}
+"#;
+    assert_eq!(json_report(&result), expected);
+}

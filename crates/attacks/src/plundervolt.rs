@@ -292,8 +292,10 @@ mod tests {
     #[test]
     fn aes_attack_succeeds_on_undefended_machine() {
         let mut m = Machine::new(CpuModel::CometLake, 43);
+        // 600 victims/step gives the Giraud DFA enough single-byte pairs
+        // to pin all 16 key bytes under the in-tree xoshiro stream.
         let cfg = PlundervoltConfig {
-            victims_per_step: 400,
+            victims_per_step: 600,
             ..PlundervoltConfig::default()
         };
         let report = run_aes_attack(&mut m, &cfg, 2).unwrap();

@@ -13,6 +13,11 @@
 //! The characterization artifact is plain JSON — the same bytes the
 //! kernel module consumes — so the stages can run on different machines,
 //! exactly like the paper's S1 (vendor/admin) → S2 (deployment) split.
+//!
+//! Source hygiene is a separate binary: `plugvolt-lint` (in
+//! `plugvolt-analysis`) gates the workspace for determinism and
+//! MSR-write discipline; run it as
+//! `cargo run -p plugvolt-analysis --bin plugvolt-lint -- --workspace`.
 
 use plugvolt::characterize::{characterize, SweepConfig};
 use plugvolt::charmap::CharacterizationMap;
@@ -143,7 +148,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         _ => {
             eprintln!(
                 "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy> [options]\n\
-                 see the module docs (`cargo doc`) for the full synopsis"
+                 see the module docs (`cargo doc`) for the full synopsis\n\
+                 \n\
+                 lint the workspace sources (determinism & MSR-safety gate):\n\
+                 \x20 cargo run -p plugvolt-analysis --bin plugvolt-lint -- --workspace"
             );
             Err("missing or unknown subcommand".into())
         }

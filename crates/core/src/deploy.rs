@@ -212,7 +212,7 @@ mod tests {
     }
 
     fn attack_write(machine: &mut Machine, offset: i32) -> i32 {
-        let dev = MsrDev::open(machine, CoreId(0)).unwrap();
+        let dev = MsrDev::open(machine, CoreId(0)).expect("core 0 always exists");
         let req = OcRequest::write_offset(offset, Plane::Core).encode();
         let _ = dev.write(machine, Msr::OC_MAILBOX, req);
         machine.cpu().core_offset_mv()
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn none_leaves_machine_vulnerable() {
         let mut m = Machine::new(CpuModel::CometLake, 8);
-        let d = deploy(&mut m, &map(), Deployment::None).unwrap();
+        let d = deploy(&mut m, &map(), Deployment::None).expect("deploying nothing cannot fail");
         assert_eq!(d.deployment().label(), "none");
         assert_eq!(attack_write(&mut m, -250), -250);
     }
@@ -229,11 +229,12 @@ mod tests {
     #[test]
     fn ocm_disable_blocks_everything() {
         let mut m = Machine::new(CpuModel::CometLake, 8);
-        let d = deploy(&mut m, &map(), Deployment::OcmDisable).unwrap();
+        let d = deploy(&mut m, &map(), Deployment::OcmDisable)
+            .expect("OCM disable deploys on a fresh machine");
         assert!(!d.deployment().preserves_benign_dvfs());
         assert_eq!(attack_write(&mut m, -250), 0, "attack blocked");
         assert_eq!(attack_write(&mut m, -50), 0, "benign blocked too");
-        undeploy(&mut m, &d).unwrap();
+        undeploy(&mut m, &d).expect("matching undeploy succeeds");
         assert_eq!(attack_write(&mut m, -50), -50);
     }
 
@@ -245,10 +246,10 @@ mod tests {
             &map(),
             Deployment::PollingModule(PollConfig::default()),
         )
-        .unwrap();
+        .expect("polling module deploys on a fresh machine");
         assert!(m.is_module_loaded(MODULE_NAME));
         assert!(d.poll_stats.is_some());
-        undeploy(&mut m, &d).unwrap();
+        undeploy(&mut m, &d).expect("matching undeploy succeeds");
         assert!(!m.is_module_loaded(MODULE_NAME));
     }
 
@@ -263,7 +264,7 @@ mod tests {
                 margin_mv: 5,
             },
         )
-        .unwrap();
+        .expect("microcode update applies to a fresh machine");
         assert_eq!(m.cpu().microcode_revision(), 0xf5);
         // Maximal safe = −120 + 1 + 5 = −114.
         assert_eq!(attack_write(&mut m, -250), 0, "unsafe write-ignored");
@@ -273,7 +274,8 @@ mod tests {
     #[test]
     fn hardware_msr_clamps() {
         let mut m = Machine::new(CpuModel::CometLake, 8);
-        deploy(&mut m, &map(), Deployment::HardwareMsr { margin_mv: 5 }).unwrap();
+        deploy(&mut m, &map(), Deployment::HardwareMsr { margin_mv: 5 })
+            .expect("hardware clamp deploys on a fresh machine");
         let applied = attack_write(&mut m, -250);
         assert!(
             (-115..=-113).contains(&applied),

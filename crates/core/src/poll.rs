@@ -380,7 +380,8 @@ mod tests {
     fn machine_with_module(cfg: PollConfig) -> (Machine, StatsHandle) {
         let mut m = Machine::new(CpuModel::CometLake, 33);
         let (module, stats) = PollingModule::new(demo_map(), cfg);
-        m.load_module(Box::new(module)).unwrap();
+        m.load_module(Box::new(module))
+            .expect("fresh machine has no module name collision");
         (m, stats)
     }
 
@@ -399,9 +400,10 @@ mod tests {
     fn unsafe_offset_is_detected_and_restored() {
         let (mut m, stats) = machine_with_module(PollConfig::default());
         // Adversary writes a deep undervolt from userspace.
-        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
         let req = OcRequest::write_offset(-250, Plane::Core).encode();
-        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
         assert_eq!(m.cpu().core_offset_mv(), -250);
         // Within one period the module must have cleared it.
         m.advance(SimDuration::from_micros(250));
@@ -420,10 +422,11 @@ mod tests {
         let nominal = m
             .cpu()
             .spec()
-            .nominal_voltage_mv(m.cpu().core_freq(CoreId(0)).unwrap());
-        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+            .nominal_voltage_mv(m.cpu().core_freq(CoreId(0)).expect("core 0 always exists"));
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
         let req = OcRequest::write_offset(-250, Plane::Core).encode();
-        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
         // Watch the rail for 5 ms.
         let mut min_v = f64::INFINITY;
         for _ in 0..500 {
@@ -440,9 +443,10 @@ mod tests {
     fn safe_undervolts_are_left_alone() {
         // The paper's selling point: benign DVFS keeps working.
         let (mut m, stats) = machine_with_module(PollConfig::default());
-        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
         let req = OcRequest::write_offset(-100, Plane::Core).encode();
-        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
         m.advance(SimDuration::from_millis(5));
         assert_eq!(m.cpu().core_offset_mv(), -100, "benign undervolt kept");
         assert_eq!(stats.borrow().detections, 0);
@@ -455,9 +459,10 @@ mod tests {
             ..PollConfig::default()
         };
         let (mut m, stats) = machine_with_module(cfg);
-        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
         let req = OcRequest::write_offset(-250, Plane::Core).encode();
-        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
         m.advance(SimDuration::from_micros(250));
         // Maximal safe = shallowest onset (−110) + 1 + margin 5 = −104.
         let restored = m.cpu().core_offset_mv();
@@ -481,7 +486,9 @@ mod tests {
         // Park three of four cores.
         let now = m.now();
         for c in 1..4 {
-            m.cpu_mut().enter_idle(now, CoreId(c), 6).unwrap();
+            m.cpu_mut()
+                .enter_idle(now, CoreId(c), 6)
+                .expect("running core can enter idle");
         }
         m.advance(SimDuration::from_millis(10));
         let s = stats.borrow();
@@ -496,11 +503,15 @@ mod tests {
     fn woken_core_is_polled_within_one_period() {
         let (mut m, stats) = machine_with_module(PollConfig::default());
         let now = m.now();
-        m.cpu_mut().enter_idle(now, CoreId(1), 6).unwrap();
+        m.cpu_mut()
+            .enter_idle(now, CoreId(1), 6)
+            .expect("running core can enter idle");
         m.advance(SimDuration::from_millis(2));
         let before = stats.borrow().observations;
         let now = m.now();
-        m.cpu_mut().wake_core(now, CoreId(1)).unwrap();
+        m.cpu_mut()
+            .wake_core(now, CoreId(1))
+            .expect("idle core can be woken");
         m.advance(SimDuration::from_micros(250));
         // One tick covering both running cores.
         assert!(stats.borrow().observations >= before + 2);
@@ -510,7 +521,8 @@ mod tests {
     fn module_unload_traces_summary() {
         let (mut m, _stats) = machine_with_module(PollConfig::default());
         m.advance(SimDuration::from_millis(1));
-        m.unload_module(MODULE_NAME).unwrap();
+        m.unload_module(MODULE_NAME)
+            .expect("module was loaded by the fixture");
         assert!(m.trace().any(|r| r.message.contains("unloading after")));
     }
 
@@ -518,10 +530,11 @@ mod tests {
     fn detection_latency_is_bounded_by_period() {
         let (mut m, stats) = machine_with_module(PollConfig::default());
         m.advance(SimDuration::from_micros(123)); // desynchronize
-        let dev = MsrDev::open(&m, CoreId(0)).unwrap();
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
         let written_at = m.now();
         let req = OcRequest::write_offset(-250, Plane::Core).encode();
-        dev.write(&mut m, Msr::OC_MAILBOX, req).unwrap();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
         m.advance(SimDuration::from_micros(400));
         let detected_at = stats.borrow().last_detection.expect("detected");
         let latency = detected_at.saturating_duration_since(written_at);

@@ -5,13 +5,16 @@
 //! new consumer of randomness never perturbs existing streams (the classic
 //! "random stream splitting" discipline of reproducible simulators).
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
-
 /// A deterministic random stream.
 ///
-/// Thin wrapper over a seeded [`StdRng`] that adds stream derivation and
-/// the handful of sampling helpers the fault models need.
+/// Thin wrapper over an in-tree xoshiro256++ generator that adds stream
+/// derivation and the handful of sampling helpers the fault models need.
+/// The generator is implemented here (rather than pulled from the `rand`
+/// crate) so the workspace builds with no registry access and so the
+/// stream is pinned to this source tree forever — a dependency bump can
+/// never silently re-run every experiment on different numbers, which is
+/// the reproducibility property the `plugvolt-lint` `no-ambient-rng`
+/// rule exists to protect.
 ///
 /// # Examples
 ///
@@ -26,7 +29,45 @@ use rand::{RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
+}
+
+/// xoshiro256++ (Blackman & Vigna): 256-bit state, 64-bit output, a
+/// standard small-state generator for reproducible simulation. Not
+/// cryptographic — nothing in the simulator needs unpredictability,
+/// only stability.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with SplitMix64, per
+    /// the generator authors' recommendation (avoids all-zero states).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0_u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x);
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
 }
 
 impl SimRng {
@@ -41,7 +82,7 @@ impl SimRng {
         }
         let mixed = splitmix64(seed ^ h);
         SimRng {
-            inner: StdRng::seed_from_u64(mixed),
+            inner: Xoshiro256pp::seed_from_u64(mixed),
         }
     }
 

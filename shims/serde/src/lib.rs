@@ -1,0 +1,478 @@
+//! In-tree, offline stand-in for the `serde` crate.
+//!
+//! The workspace must build with no registry access (ROADMAP tier-1 runs
+//! in a hermetic container), so the real `serde` cannot be downloaded.
+//! This shim keeps the subset of the API surface the workspace uses —
+//! `#[derive(Serialize, Deserialize)]` plus the `serde_json` entry points
+//! — while serializing through a small in-tree JSON [`Value`] model.
+//!
+//! Design differences from real serde, on purpose:
+//!
+//! * [`Serialize`] builds a [`Value`] tree instead of driving a streaming
+//!   serializer — every consumer in this workspace ends at JSON text, and
+//!   the tree keeps the derive macro (hand-rolled, no `syn`) small.
+//! * Object fields keep **insertion order** (`Vec<(String, Value)>`), so
+//!   derived output is deterministic and follows declaration order, the
+//!   same property the `plugvolt-lint` determinism rules enforce
+//!   elsewhere.
+//! * [`Deserialize`] reads from a parsed `&Value`, so there is no
+//!   lifetime plumbing; `&'static str` fields round-trip by leaking,
+//!   which only test/report tooling exercises.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+pub use json::{Number, Value};
+
+/// Serialization/deserialization error: a message plus optional context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" while deserializing `ty`.
+    #[must_use]
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        Error::msg(format!(
+            "{ty}: expected {what}, found {}",
+            found.kind_name()
+        ))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Builds the JSON value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a parsed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived code when an object field is absent.
+    ///
+    /// The default is an error; `Option<T>` overrides it to `None` so
+    /// optional fields tolerate omission, mirroring common JSON usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field error by default.
+    fn missing_field(ty: &str, field: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("{ty}: missing field `{field}`")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::expected("bool", "bool", v))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U(*self))
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64()
+            .ok_or_else(|| Error::expected("unsigned integer", "u64", v))
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| Error::expected("unsigned integer", "usize", v))?;
+        usize::try_from(n).map_err(|_| Error::msg(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(i64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::I(*self))
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_i64()
+            .ok_or_else(|| Error::expected("integer", "i64", v))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::I(*self as i64))
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v
+            .as_i64()
+            .ok_or_else(|| Error::expected("integer", "isize", v))?;
+        isize::try_from(n).map_err(|_| Error::msg(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::expected("number", "f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", "f32", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String", v))
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Static tables (e.g. benchmark names) round-trip by leaking the
+        // owned string; only report tooling deserializes these.
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_ty: &str, _field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "Vec", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for &'static [T] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|xs| &*Box::leak(xs.into_boxed_slice()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let xs = Vec::<T>::from_value(v)?;
+        let len = xs.len();
+        xs.try_into()
+            .map_err(|_| Error::msg(format!("expected array of {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+) ;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let xs = v.as_array().ok_or_else(|| Error::expected("array", "tuple", v))?;
+                let want = [$(stringify!($idx)),+].len();
+                if xs.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected tuple of {want}, found array of {}", xs.len()
+                    )));
+                }
+                Ok(($($t::from_value(&xs[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// Map keys: JSON objects only have string keys, so keyed collections
+/// must render their keys as strings and parse them back.
+pub trait JsonKey: Sized {
+    /// String form of the key.
+    fn to_key(&self) -> String;
+    /// Parses a key back from its string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the string is not a valid key.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error::msg(format!("bad {} map key `{s}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", "BTreeMap", v))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "BTreeSet", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_defaults_to_none() {
+        assert_eq!(Option::<u32>::missing_field("T", "f"), Ok(None));
+        assert!(u32::missing_field("T", "f").is_err());
+    }
+
+    #[test]
+    fn map_keys_round_trip() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(2_000_u32, -150_i32);
+        m.insert(3_400_u32, -110_i32);
+        let v = m.to_value();
+        let back = std::collections::BTreeMap::<u32, i32>::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1_u32, -2_i32, 0.5_f64);
+        let back = <(u32, i32, f64)>::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+}

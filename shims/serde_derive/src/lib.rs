@@ -1,0 +1,489 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-tree serde
+//! shim.
+//!
+//! The workspace builds offline, so `syn`/`quote` are unavailable; this
+//! macro walks the raw [`proc_macro::TokenStream`] instead. It supports
+//! exactly the shapes the workspace uses:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * tuple structs (newtype and wider),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   real serde default).
+//!
+//! Generic types are intentionally rejected — none of the simulation
+//! artifacts need them, and refusing keeps the parser honest.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (shim) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => serialize_struct(name, shape),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("derive(Serialize) generated valid Rust")
+}
+
+/// Derives `serde::Deserialize` (shim) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => deserialize_struct(name, shape),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated valid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility to reach `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // The attribute body is the following bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, possibly followed by a `(crate)` group.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: no `struct` or `enum` found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    let body = tokens.next();
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = body else {
+            panic!("serde shim derive: malformed enum `{name}`");
+        };
+        Input::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        }
+    } else {
+        let shape = match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: malformed struct `{name}`: {other:?}"),
+        };
+        Input::Struct { name, shape }
+    }
+}
+
+/// Collects leading `#[...]` attributes, returning whether any of them is
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            skip |= attr_is_serde_skip(g.stream());
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().any(|t| match t {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                s == "skip" || s == "skip_serializing" || s == "skip_deserializing"
+            }
+            _ => false,
+        }),
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes a type (everything up to a top-level `,`), tracking `<` / `>`
+/// depth so commas inside generics don't split fields.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0_i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde shim derive: expected field name, got {tt:?}");
+        };
+        // `:`
+        tokens.next();
+        skip_type(&mut tokens);
+        fields.push(Field {
+            name: id.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    if tokens.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    loop {
+        take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde shim derive: expected variant name, got {tt:?}");
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Explicit discriminant (`= 3`): consume through the expression.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                while let Some(tt) = tokens.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    tokens.next();
+                }
+            }
+        }
+        // Trailing `,` if present.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant {
+            name: id.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => named_fields_to_object(fields, "self."),
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Builds the `Value::Object(...)` expression for named fields accessed
+/// through `prefix` (either `self.` or `` for bound variables).
+fn named_fields_to_object(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(String::from(\"{0}\"), serde::Serialize::to_value(&{prefix}{0}))",
+                f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => format!(
+                    "{name}::{vname} => serde::Value::String(String::from(\"{vname}\"))"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let inner = if *n == 1 {
+                        "serde::Serialize::to_value(x0)".to_string()
+                    } else {
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({}) => serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds: Vec<String> =
+                        fields.iter().map(|f| f.name.clone()).collect();
+                    let inner = named_fields_to_object(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+/// Builds a struct-literal body (`field: <expr>, ...`) that pulls each
+/// non-skipped field out of the object value `src`.
+fn named_fields_from_object(ty_label: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!(
+                    "{0}: match {src}.get_field(\"{0}\") {{\n\
+                         Some(x) => serde::Deserialize::from_value(x)?,\n\
+                         None => serde::Deserialize::missing_field(\"{ty_label}\", \"{0}\")?,\n\
+                     }}",
+                    f.name
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn deserialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("let _ = v; Ok({name})"),
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&xs[{i}])?"))
+                .collect();
+            format!(
+                "let xs = v.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}\", v))?;\n\
+                 if xs.len() != {n} {{\n\
+                     return Err(serde::Error::msg(format!(\"{name}: expected {n} elements, found {{}}\", xs.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return Err(serde::Error::expected(\"object\", \"{name}\", v));\n\
+                 }}\n\
+                 Ok({name} {{\n{}\n}})",
+                named_fields_from_object(name, fields, "v")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => return Ok({name}::{0})", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?))"
+                )),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&xs[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let xs = inner.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}::{vname}\", inner))?;\n\
+                             if xs.len() != {n} {{\n\
+                                 return Err(serde::Error::msg(format!(\"{name}::{vname}: expected {n} elements, found {{}}\", xs.len())));\n\
+                             }}\n\
+                             Ok({name}::{vname}({}))\n\
+                         }}",
+                        elems.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname} {{\n{}\n}})",
+                    named_fields_from_object(&format!("{name}::{vname}"), fields, "inner")
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                     match s {{\n\
+                         {unit_arms}\n\
+                         _ => return Err(serde::Error::msg(format!(\"{name}: unknown variant `{{s}}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let (tag, inner) = v.single_entry().ok_or_else(|| serde::Error::expected(\"variant string or single-entry object\", \"{name}\", v))?;\n\
+                 match tag {{\n\
+                     {data_arms}\n\
+                     _ => Err(serde::Error::msg(format!(\"{name}: unknown variant `{{tag}}`\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        },
+        data_arms = if data_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", data_arms.join(",\n"))
+        },
+    )
+}

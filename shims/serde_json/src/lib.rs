@@ -1,0 +1,100 @@
+//! In-tree, offline stand-in for `serde_json`.
+//!
+//! Thin facade over the serde shim's [`Value`] model: `to_string`,
+//! `to_string_pretty`, `from_str`, `to_value`/`from_value` and a `json!`
+//! macro covering literal objects/arrays with embedded expressions.
+
+pub use serde::json::parse;
+pub use serde::{Error, Number, Value};
+
+/// Result alias matching the real crate's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for this shim's value model; kept fallible for
+/// call-site compatibility with the real crate.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes a value to pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Infallible for this shim's value model; kept fallible for
+/// call-site compatibility with the real crate.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns a parse or shape-mismatch error.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&parse(s)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T> {
+    T::from_value(v)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax; non-literal positions
+/// accept any `serde::Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (String::from($key), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = "table2";
+        let payload = vec![1_u32, 2, 3];
+        let v = json!({ "experiment": name, "data": payload, "n": 3, "ok": true });
+        assert_eq!(
+            v.to_json(),
+            r#"{"experiment":"table2","data":[1,2,3],"n":3,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_nested() {
+        let v = json!({ "a": [1, 2], "b": { "c": null } });
+        assert_eq!(v.to_json(), r#"{"a":[1,2],"b":{"c":null}}"#);
+    }
+
+    #[test]
+    fn round_trip_typed() {
+        let xs: Vec<(u32, i32)> = vec![(2_000, -150), (3_400, -110)];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(u32, i32)> = from_str(&text).unwrap();
+        assert_eq!(xs, back);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_matrix-1470a35dd626684e.d: tests/defense_matrix.rs
+
+/root/repo/target/debug/deps/defense_matrix-1470a35dd626684e: tests/defense_matrix.rs
+
+tests/defense_matrix.rs:

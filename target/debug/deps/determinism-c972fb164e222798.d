@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c972fb164e222798.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c972fb164e222798: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-45d2ac69d19872d2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-45d2ac69d19872d2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fixture_rules-89886520b9808662.d: crates/analysis/tests/fixture_rules.rs crates/analysis/tests/fixtures/no_wall_clock.rs crates/analysis/tests/fixtures/no_ambient_rng.rs crates/analysis/tests/fixtures/no_unordered_iteration.rs crates/analysis/tests/fixtures/msr_write_discipline.rs crates/analysis/tests/fixtures/no_unwrap_in_lib.rs crates/analysis/tests/fixtures/float_accumulation_order.rs crates/analysis/tests/fixtures/clean.rs crates/analysis/tests/fixtures/suppressed.rs
+
+/root/repo/target/debug/deps/fixture_rules-89886520b9808662: crates/analysis/tests/fixture_rules.rs crates/analysis/tests/fixtures/no_wall_clock.rs crates/analysis/tests/fixtures/no_ambient_rng.rs crates/analysis/tests/fixtures/no_unordered_iteration.rs crates/analysis/tests/fixtures/msr_write_discipline.rs crates/analysis/tests/fixtures/no_unwrap_in_lib.rs crates/analysis/tests/fixtures/float_accumulation_order.rs crates/analysis/tests/fixtures/clean.rs crates/analysis/tests/fixtures/suppressed.rs
+
+crates/analysis/tests/fixture_rules.rs:
+crates/analysis/tests/fixtures/no_wall_clock.rs:
+crates/analysis/tests/fixtures/no_ambient_rng.rs:
+crates/analysis/tests/fixtures/no_unordered_iteration.rs:
+crates/analysis/tests/fixtures/msr_write_discipline.rs:
+crates/analysis/tests/fixtures/no_unwrap_in_lib.rs:
+crates/analysis/tests/fixtures/float_accumulation_order.rs:
+crates/analysis/tests/fixtures/clean.rs:
+crates/analysis/tests/fixtures/suppressed.rs:

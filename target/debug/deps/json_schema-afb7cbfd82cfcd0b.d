@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/json_schema-afb7cbfd82cfcd0b.d: crates/analysis/tests/json_schema.rs
+
+/root/repo/target/debug/deps/json_schema-afb7cbfd82cfcd0b: crates/analysis/tests/json_schema.rs
+
+crates/analysis/tests/json_schema.rs:

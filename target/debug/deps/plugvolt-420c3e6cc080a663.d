@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plugvolt-420c3e6cc080a663.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/plugvolt-420c3e6cc080a663: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/charmap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/maximal.rs:
+crates/core/src/poll.rs:
+crates/core/src/state.rs:

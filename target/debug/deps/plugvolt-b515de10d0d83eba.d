@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plugvolt-b515de10d0d83eba.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/libplugvolt-b515de10d0d83eba.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/libplugvolt-b515de10d0d83eba.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/charmap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/maximal.rs:
+crates/core/src/poll.rs:
+crates/core/src/state.rs:

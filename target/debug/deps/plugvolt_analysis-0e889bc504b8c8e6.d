@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plugvolt_analysis-0e889bc504b8c8e6.d: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+/root/repo/target/debug/deps/plugvolt_analysis-0e889bc504b8c8e6: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/findings.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/runner.rs:
+crates/analysis/src/source.rs:

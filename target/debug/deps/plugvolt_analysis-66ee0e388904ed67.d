@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plugvolt_analysis-66ee0e388904ed67.d: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+/root/repo/target/debug/deps/libplugvolt_analysis-66ee0e388904ed67.rlib: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+/root/repo/target/debug/deps/libplugvolt_analysis-66ee0e388904ed67.rmeta: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/findings.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/runner.rs:
+crates/analysis/src/source.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plugvolt_bench-5dbfed1cc0d229df.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/libplugvolt_bench-5dbfed1cc0d229df.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/libplugvolt_bench-5dbfed1cc0d229df.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

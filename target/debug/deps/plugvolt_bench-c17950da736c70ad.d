@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plugvolt_bench-c17950da736c70ad.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/plugvolt_bench-c17950da736c70ad: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

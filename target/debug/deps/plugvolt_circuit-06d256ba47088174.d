@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plugvolt_circuit-06d256ba47088174.d: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+/root/repo/target/debug/deps/plugvolt_circuit-06d256ba47088174: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/delay.rs:
+crates/circuit/src/fault.rs:
+crates/circuit/src/flipflop.rs:
+crates/circuit/src/multiplier.rs:
+crates/circuit/src/netlist.rs:
+crates/circuit/src/path.rs:
+crates/circuit/src/timing.rs:

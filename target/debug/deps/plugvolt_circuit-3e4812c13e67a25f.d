@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plugvolt_circuit-3e4812c13e67a25f.d: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+/root/repo/target/debug/deps/libplugvolt_circuit-3e4812c13e67a25f.rlib: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+/root/repo/target/debug/deps/libplugvolt_circuit-3e4812c13e67a25f.rmeta: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/delay.rs:
+crates/circuit/src/fault.rs:
+crates/circuit/src/flipflop.rs:
+crates/circuit/src/multiplier.rs:
+crates/circuit/src/netlist.rs:
+crates/circuit/src/path.rs:
+crates/circuit/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_cli-49dc2f57f4163171.d: crates/bench/src/bin/plugvolt-cli.rs
+
+/root/repo/target/debug/deps/plugvolt_cli-49dc2f57f4163171: crates/bench/src/bin/plugvolt-cli.rs
+
+crates/bench/src/bin/plugvolt-cli.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plugvolt_des-8da3a989639ee78d.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/debug/deps/plugvolt_des-8da3a989639ee78d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/sim.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+crates/des/src/vcd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plugvolt_des-a1100e6b9e903535.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/debug/deps/libplugvolt_des-a1100e6b9e903535.rlib: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/debug/deps/libplugvolt_des-a1100e6b9e903535.rmeta: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/sim.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+crates/des/src/vcd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plugvolt_kernel-9a5f96782af3030f.d: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/plugvolt_kernel-9a5f96782af3030f: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cpufreq.rs:
+crates/kernel/src/cpuidle.rs:
+crates/kernel/src/cpupower.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/msr_dev.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/sgx.rs:

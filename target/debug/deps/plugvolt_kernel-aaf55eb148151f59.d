@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plugvolt_kernel-aaf55eb148151f59.d: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/libplugvolt_kernel-aaf55eb148151f59.rlib: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/libplugvolt_kernel-aaf55eb148151f59.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cpufreq.rs:
+crates/kernel/src/cpuidle.rs:
+crates/kernel/src/cpupower.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/msr_dev.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/sgx.rs:

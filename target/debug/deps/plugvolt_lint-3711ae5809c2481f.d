@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_lint-3711ae5809c2481f.d: crates/analysis/src/bin/plugvolt-lint.rs
+
+/root/repo/target/debug/deps/plugvolt_lint-3711ae5809c2481f: crates/analysis/src/bin/plugvolt-lint.rs
+
+crates/analysis/src/bin/plugvolt-lint.rs:

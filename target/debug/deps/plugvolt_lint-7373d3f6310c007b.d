@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_lint-7373d3f6310c007b.d: crates/analysis/src/bin/plugvolt-lint.rs
+
+/root/repo/target/debug/deps/plugvolt_lint-7373d3f6310c007b: crates/analysis/src/bin/plugvolt-lint.rs
+
+crates/analysis/src/bin/plugvolt-lint.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plugvolt_msr-4b8b517c3f001c9e.d: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+/root/repo/target/debug/deps/plugvolt_msr-4b8b517c3f001c9e: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+crates/msr/src/lib.rs:
+crates/msr/src/addr.rs:
+crates/msr/src/file.rs:
+crates/msr/src/oc_mailbox.rs:
+crates/msr/src/offset_limit.rs:
+crates/msr/src/perf_status.rs:
+crates/msr/src/power_limit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plugvolt_msr-8bca13f480b01dae.d: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+/root/repo/target/debug/deps/libplugvolt_msr-8bca13f480b01dae.rlib: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+/root/repo/target/debug/deps/libplugvolt_msr-8bca13f480b01dae.rmeta: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+crates/msr/src/lib.rs:
+crates/msr/src/addr.rs:
+crates/msr/src/file.rs:
+crates/msr/src/oc_mailbox.rs:
+crates/msr/src/offset_limit.rs:
+crates/msr/src/perf_status.rs:
+crates/msr/src/power_limit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plugvolt_suite-3bb128f3be9a3b75.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplugvolt_suite-3bb128f3be9a3b75.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplugvolt_suite-3bb128f3be9a3b75.rmeta: src/lib.rs
+
+src/lib.rs:

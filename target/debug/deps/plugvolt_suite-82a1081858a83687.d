@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_suite-82a1081858a83687.d: src/lib.rs
+
+/root/repo/target/debug/deps/plugvolt_suite-82a1081858a83687: src/lib.rs
+
+src/lib.rs:

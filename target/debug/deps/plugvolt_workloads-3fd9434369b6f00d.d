@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plugvolt_workloads-3fd9434369b6f00d.d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/plugvolt_workloads-3fd9434369b6f00d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/overhead.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4640eb9ebc42753b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4640eb9ebc42753b: tests/properties.rs
+
+tests/properties.rs:

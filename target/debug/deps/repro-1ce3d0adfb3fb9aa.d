@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1ce3d0adfb3fb9aa.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1ce3d0adfb3fb9aa: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

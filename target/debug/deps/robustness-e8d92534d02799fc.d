@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-e8d92534d02799fc.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-e8d92534d02799fc: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-b1933c27656464ef.d: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+/root/repo/target/debug/deps/libserde-b1933c27656464ef.rlib: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+/root/repo/target/debug/deps/libserde-b1933c27656464ef.rmeta: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/json.rs:

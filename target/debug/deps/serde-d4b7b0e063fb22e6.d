@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-d4b7b0e063fb22e6.d: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+/root/repo/target/debug/deps/serde-d4b7b0e063fb22e6: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-4249bdb376107861.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-4249bdb376107861: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-4b201d7842b6d19a.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-4b201d7842b6d19a: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7f23deb08e119a8b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7f23deb08e119a8b.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7f23deb08e119a8b.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a753a9dc10c4a293.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a753a9dc10c4a293.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a753a9dc10c4a293.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

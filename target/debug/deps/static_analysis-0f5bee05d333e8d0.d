@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/static_analysis-0f5bee05d333e8d0.d: tests/static_analysis.rs
+
+/root/repo/target/debug/deps/static_analysis-0f5bee05d333e8d0: tests/static_analysis.rs
+
+tests/static_analysis.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/two_thread-cb715ef9081836a9.d: tests/two_thread.rs
+
+/root/repo/target/debug/deps/two_thread-cb715ef9081836a9: tests/two_thread.rs
+
+tests/two_thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_waveform-d11ebf00e0c9d70f.d: examples/attack_waveform.rs
+
+/root/repo/target/debug/examples/attack_waveform-d11ebf00e0c9d70f: examples/attack_waveform.rs
+
+examples/attack_waveform.rs:

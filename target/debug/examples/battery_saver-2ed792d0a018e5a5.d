@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_saver-2ed792d0a018e5a5.d: examples/battery_saver.rs
+
+/root/repo/target/debug/examples/battery_saver-2ed792d0a018e5a5: examples/battery_saver.rs
+
+examples/battery_saver.rs:

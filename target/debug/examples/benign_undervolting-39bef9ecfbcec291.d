@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benign_undervolting-39bef9ecfbcec291.d: examples/benign_undervolting.rs
+
+/root/repo/target/debug/examples/benign_undervolting-39bef9ecfbcec291: examples/benign_undervolting.rs
+
+examples/benign_undervolting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize_generations-b9cf33591e611017.d: examples/characterize_generations.rs
+
+/root/repo/target/debug/examples/characterize_generations-b9cf33591e611017: examples/characterize_generations.rs
+
+examples/characterize_generations.rs:

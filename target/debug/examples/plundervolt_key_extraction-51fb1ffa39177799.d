@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plundervolt_key_extraction-51fb1ffa39177799.d: examples/plundervolt_key_extraction.rs
+
+/root/repo/target/debug/examples/plundervolt_key_extraction-51fb1ffa39177799: examples/plundervolt_key_extraction.rs
+
+examples/plundervolt_key_extraction.rs:

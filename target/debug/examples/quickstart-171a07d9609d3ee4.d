@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-171a07d9609d3ee4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-171a07d9609d3ee4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b347f4339dbb9837.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b347f4339dbb9837.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b347f4339dbb9837.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msr_and_circuit-a6490d1fcba3faec.d: crates/bench/benches/msr_and_circuit.rs
+
+/root/repo/target/release/deps/msr_and_circuit-a6490d1fcba3faec: crates/bench/benches/msr_and_circuit.rs
+
+crates/bench/benches/msr_and_circuit.rs:

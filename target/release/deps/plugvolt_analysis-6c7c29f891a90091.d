@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plugvolt_analysis-6c7c29f891a90091.d: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+/root/repo/target/release/deps/libplugvolt_analysis-6c7c29f891a90091.rlib: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+/root/repo/target/release/deps/libplugvolt_analysis-6c7c29f891a90091.rmeta: crates/analysis/src/lib.rs crates/analysis/src/findings.rs crates/analysis/src/report.rs crates/analysis/src/rules.rs crates/analysis/src/runner.rs crates/analysis/src/source.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/findings.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/rules.rs:
+crates/analysis/src/runner.rs:
+crates/analysis/src/source.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plugvolt_bench-caa60d952d0470f7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/release/deps/libplugvolt_bench-caa60d952d0470f7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/release/deps/libplugvolt_bench-caa60d952d0470f7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

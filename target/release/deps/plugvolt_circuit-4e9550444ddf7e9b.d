@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/plugvolt_circuit-4e9550444ddf7e9b.d: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+/root/repo/target/release/deps/libplugvolt_circuit-4e9550444ddf7e9b.rlib: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+/root/repo/target/release/deps/libplugvolt_circuit-4e9550444ddf7e9b.rmeta: crates/circuit/src/lib.rs crates/circuit/src/delay.rs crates/circuit/src/fault.rs crates/circuit/src/flipflop.rs crates/circuit/src/multiplier.rs crates/circuit/src/netlist.rs crates/circuit/src/path.rs crates/circuit/src/timing.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/delay.rs:
+crates/circuit/src/fault.rs:
+crates/circuit/src/flipflop.rs:
+crates/circuit/src/multiplier.rs:
+crates/circuit/src/netlist.rs:
+crates/circuit/src/path.rs:
+crates/circuit/src/timing.rs:

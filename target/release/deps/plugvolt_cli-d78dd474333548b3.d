@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plugvolt_cli-d78dd474333548b3.d: crates/bench/src/bin/plugvolt-cli.rs
+
+/root/repo/target/release/deps/plugvolt_cli-d78dd474333548b3: crates/bench/src/bin/plugvolt-cli.rs
+
+crates/bench/src/bin/plugvolt-cli.rs:

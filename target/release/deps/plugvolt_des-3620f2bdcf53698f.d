@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/plugvolt_des-3620f2bdcf53698f.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/release/deps/libplugvolt_des-3620f2bdcf53698f.rlib: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/release/deps/libplugvolt_des-3620f2bdcf53698f.rmeta: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/sim.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+crates/des/src/vcd.rs:

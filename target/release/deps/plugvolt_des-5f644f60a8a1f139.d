@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plugvolt_des-5f644f60a8a1f139.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+/root/repo/target/release/deps/plugvolt_des-5f644f60a8a1f139: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/sim.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs crates/des/src/vcd.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/sim.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+crates/des/src/vcd.rs:

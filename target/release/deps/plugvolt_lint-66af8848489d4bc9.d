@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plugvolt_lint-66af8848489d4bc9.d: crates/analysis/src/bin/plugvolt-lint.rs
+
+/root/repo/target/release/deps/plugvolt_lint-66af8848489d4bc9: crates/analysis/src/bin/plugvolt-lint.rs
+
+crates/analysis/src/bin/plugvolt-lint.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/plugvolt_msr-70c7909e447cf6ea.d: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+/root/repo/target/release/deps/libplugvolt_msr-70c7909e447cf6ea.rlib: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+/root/repo/target/release/deps/libplugvolt_msr-70c7909e447cf6ea.rmeta: crates/msr/src/lib.rs crates/msr/src/addr.rs crates/msr/src/file.rs crates/msr/src/oc_mailbox.rs crates/msr/src/offset_limit.rs crates/msr/src/perf_status.rs crates/msr/src/power_limit.rs
+
+crates/msr/src/lib.rs:
+crates/msr/src/addr.rs:
+crates/msr/src/file.rs:
+crates/msr/src/oc_mailbox.rs:
+crates/msr/src/offset_limit.rs:
+crates/msr/src/perf_status.rs:
+crates/msr/src/power_limit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plugvolt_suite-85f146bf9164ff66.d: src/lib.rs
+
+/root/repo/target/release/deps/libplugvolt_suite-85f146bf9164ff66.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplugvolt_suite-85f146bf9164ff66.rmeta: src/lib.rs
+
+src/lib.rs:

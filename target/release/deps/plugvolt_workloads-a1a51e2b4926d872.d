@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plugvolt_workloads-a1a51e2b4926d872.d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libplugvolt_workloads-a1a51e2b4926d872.rlib: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libplugvolt_workloads-a1a51e2b4926d872.rmeta: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/overhead.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dbf9849808cd96db.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dbf9849808cd96db: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

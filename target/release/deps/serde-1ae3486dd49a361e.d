@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-1ae3486dd49a361e.d: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+/root/repo/target/release/deps/libserde-1ae3486dd49a361e.rlib: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+/root/repo/target/release/deps/libserde-1ae3486dd49a361e.rmeta: shims/serde/src/lib.rs shims/serde/src/json.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/json.rs:

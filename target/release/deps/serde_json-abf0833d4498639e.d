@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-abf0833d4498639e.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-abf0833d4498639e.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-abf0833d4498639e.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

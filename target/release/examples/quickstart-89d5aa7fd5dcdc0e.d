@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-89d5aa7fd5dcdc0e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-89d5aa7fd5dcdc0e: examples/quickstart.rs
+
+examples/quickstart.rs:

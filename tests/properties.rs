@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) over the core invariants of the
+//! Randomized property tests over the core invariants of the
 //! reproduction: MSR codecs, characterization-map classification,
 //! timing physics, the fault sampler and the VR.
-
-use proptest::prelude::*;
+//!
+//! Cases are driven by the workspace's own seeded [`SimRng`] instead of
+//! an external property-testing crate, so the suite stays hermetic and
+//! every failure replays from a fixed seed. Each test draws `CASES`
+//! inputs from a stream derived from the test's name.
 
 use plugvolt::charmap::{CharacterizationMap, FreqBand};
 use plugvolt::state::StateClass;
@@ -24,219 +27,345 @@ use plugvolt_msr::oc_mailbox::{encode_offset_request, OcRequest, Plane};
 use plugvolt_msr::offset_limit::VoltageOffsetLimit;
 use plugvolt_msr::perf_status::PerfStatus;
 
-proptest! {
-    // ---------- MSR codecs ----------
+/// Cases per property; every draw below is deterministic, so the suite
+/// exercises the same inputs on every run.
+const CASES: u64 = 256;
 
-    #[test]
-    fn mailbox_roundtrip_quantizes_within_1mv(
-        offset in -1000i32..=999,
-        plane_idx in 0u8..5,
-    ) {
-        let plane = Plane::from_index(plane_idx).unwrap();
-        let req = OcRequest::write_offset(offset, plane);
-        let back = OcRequest::decode(req.encode()).unwrap();
-        prop_assert_eq!(back.plane(), plane);
-        prop_assert!(back.is_write());
-        prop_assert!((back.offset_mv() - offset).abs() <= 1,
-            "offset {} decoded {}", offset, back.offset_mv());
-        // Truncation in Algorithm 1 never deepens an undervolt.
-        if offset < 0 {
-            prop_assert!(back.offset_mv() >= offset);
+/// Seed shared by every property stream (varied per test via the label).
+const SEED: u64 = 0x706c_7567_766f_6c74; // "plugvolt"
+
+/// Input generator: thin inclusive-range helpers over [`SimRng`].
+struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    fn new(test: &str, case: u64) -> Self {
+        Gen {
+            rng: SimRng::from_seed_label(SEED ^ case, test),
         }
     }
 
-    #[test]
-    fn mailbox_matches_paper_algorithm1(offset in -999i32..=999, plane in 0u8..5) {
-        prop_assert_eq!(
+    fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        i32::try_from(self.rng.in_range(i64::from(lo), i64::from(hi)))
+            .expect("range bounds fit i32")
+    }
+
+    fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        u32::try_from(self.rng.in_range(i64::from(lo), i64::from(hi)))
+            .expect("range bounds fit u32")
+    }
+
+    fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.rng.below(hi - lo + 1)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        usize::try_from(self.u64_in(lo as u64, hi as u64)).expect("usize range")
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+}
+
+/// Runs `body` for [`CASES`] deterministic inputs.
+fn cases(test: &str, mut body: impl FnMut(&mut Gen)) {
+    for case in 0..CASES {
+        let mut g = Gen::new(test, case);
+        body(&mut g);
+    }
+}
+
+// ---------- MSR codecs ----------
+
+#[test]
+fn mailbox_roundtrip_quantizes_within_1mv() {
+    cases("mailbox_roundtrip", |g| {
+        let offset = g.i32_in(-1000, 999);
+        let plane = Plane::from_index(g.i32_in(0, 4) as u8).unwrap();
+        let req = OcRequest::write_offset(offset, plane);
+        let back = OcRequest::decode(req.encode()).unwrap();
+        assert_eq!(back.plane(), plane);
+        assert!(back.is_write());
+        assert!(
+            (back.offset_mv() - offset).abs() <= 1,
+            "offset {} decoded {}",
+            offset,
+            back.offset_mv()
+        );
+        // Truncation in Algorithm 1 never deepens an undervolt.
+        if offset < 0 {
+            assert!(back.offset_mv() >= offset);
+        }
+    });
+}
+
+#[test]
+fn mailbox_matches_paper_algorithm1() {
+    cases("mailbox_algorithm1", |g| {
+        let offset = g.i32_in(-999, 999);
+        let plane = g.i32_in(0, 4) as u8;
+        assert_eq!(
             OcRequest::write_offset(offset, Plane::from_index(plane).unwrap()).encode(),
             encode_offset_request(offset, plane)
         );
-    }
+    });
+}
 
-    #[test]
-    fn perf_status_roundtrip(freq_ratio in 1u32..=255, mv in 0.0f64..7_900.0) {
+#[test]
+fn perf_status_roundtrip() {
+    cases("perf_status_roundtrip", |g| {
+        let freq_ratio = g.u32_in(1, 255);
+        let mv = g.f64_in(0.0, 7_900.0);
         let s = PerfStatus::new(freq_ratio * 100, mv);
         let back = PerfStatus::decode(s.encode());
-        prop_assert_eq!(back.freq_mhz(), freq_ratio * 100);
-        prop_assert!((back.voltage_mv() - mv).abs() < 0.13);
-    }
+        assert_eq!(back.freq_mhz(), freq_ratio * 100);
+        assert!((back.voltage_mv() - mv).abs() < 0.13);
+    });
+}
 
-    #[test]
-    fn offset_limit_clamp_is_idempotent_and_bounded(
-        bound in -900i32..=0,
-        offset in -1000i32..=999,
-    ) {
+#[test]
+fn offset_limit_clamp_is_idempotent_and_bounded() {
+    cases("offset_limit_clamp", |g| {
+        let bound = g.i32_in(-900, 0);
+        let offset = g.i32_in(-1000, 999);
         let limit = VoltageOffsetLimit::new(bound);
         let req = OcRequest::write_offset(offset, Plane::Core);
         let once = limit.clamp(req);
         let twice = limit.clamp(once);
-        prop_assert_eq!(once, twice, "clamp must be idempotent");
+        assert_eq!(once, twice, "clamp must be idempotent");
         // Clamped output never deeper than the bound (in native units).
         let bound_units = plugvolt_msr::oc_mailbox::mv_to_units(bound);
-        prop_assert!(once.offset_units() >= bound_units);
-    }
+        assert!(once.offset_units() >= bound_units);
+    });
+}
 
-    // ---------- characterization map ----------
+// ---------- characterization map ----------
 
-    #[test]
-    fn charmap_classification_is_monotone_in_depth(
-        onset in -290i32..=-20,
-        width in 1i32..=60,
-        freq in 500u32..=5_000,
-        probe_a in -320i32..=0,
-        probe_b in -320i32..=0,
-    ) {
+#[test]
+fn charmap_classification_is_monotone_in_depth() {
+    cases("charmap_monotone", |g| {
+        let onset = g.i32_in(-290, -20);
+        let width = g.i32_in(1, 60);
+        let freq = g.u32_in(500, 5_000);
+        let probe_a = g.i32_in(-320, 0);
+        let probe_b = g.i32_in(-320, 0);
         let mut map = CharacterizationMap::new("prop", 0, -300);
-        map.insert_band(FreqMhz(freq), FreqBand {
-            fault_onset_mv: Some(onset),
-            crash_mv: Some(onset - width),
-        });
+        map.insert_band(
+            FreqMhz(freq),
+            FreqBand {
+                fault_onset_mv: Some(onset),
+                crash_mv: Some(onset - width),
+            },
+        );
         let rank = |s: StateClass| match s {
             StateClass::Safe => 0,
             StateClass::Unsafe => 1,
             StateClass::Crash => 2,
         };
-        let (hi, lo) = if probe_a >= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
+        let (hi, lo) = if probe_a >= probe_b {
+            (probe_a, probe_b)
+        } else {
+            (probe_b, probe_a)
+        };
         // Going deeper (more negative) never makes the state safer.
-        prop_assert!(
+        assert!(
             rank(map.classify(FreqMhz(freq), lo)) >= rank(map.classify(FreqMhz(freq), hi)),
-            "lo={} hi={}", lo, hi
+            "lo={lo} hi={hi}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn charmap_interpolation_never_under_protects(
-        onset_a in -290i32..=-20,
-        onset_b in -290i32..=-20,
-        probe in -300i32..=-1,
-        mid in 1_100u32..=1_900,
-    ) {
+#[test]
+fn charmap_interpolation_never_under_protects() {
+    cases("charmap_interpolation", |g| {
+        let onset_a = g.i32_in(-290, -20);
+        let onset_b = g.i32_in(-290, -20);
+        let probe = g.i32_in(-300, -1);
+        let mid = g.u32_in(1_100, 1_900);
         let mut map = CharacterizationMap::new("prop", 0, -300);
-        map.insert_band(FreqMhz(1_000), FreqBand { fault_onset_mv: Some(onset_a), crash_mv: None });
-        map.insert_band(FreqMhz(2_000), FreqBand { fault_onset_mv: Some(onset_b), crash_mv: None });
+        map.insert_band(
+            FreqMhz(1_000),
+            FreqBand {
+                fault_onset_mv: Some(onset_a),
+                crash_mv: None,
+            },
+        );
+        map.insert_band(
+            FreqMhz(2_000),
+            FreqBand {
+                fault_onset_mv: Some(onset_b),
+                crash_mv: None,
+            },
+        );
         // If either neighbour says unsafe at this depth, the
         // interpolated frequency must too.
         let either_unsafe = probe <= onset_a.max(onset_b);
         let interpolated = map.classify(FreqMhz(mid), probe);
         if either_unsafe {
-            prop_assert_ne!(interpolated, StateClass::Safe);
+            assert_ne!(interpolated, StateClass::Safe);
         }
-    }
+    });
+}
 
-    #[test]
-    fn maximal_safe_state_classifies_safe_everywhere(
-        onsets in proptest::collection::vec(-290i32..=-20, 1..8),
-    ) {
+#[test]
+fn maximal_safe_state_classifies_safe_everywhere() {
+    cases("maximal_safe_state", |g| {
+        let n = g.usize_in(1, 7);
+        let onsets: Vec<i32> = (0..n).map(|_| g.i32_in(-290, -20)).collect();
         let mut map = CharacterizationMap::new("prop", 0, -300);
         for (i, onset) in onsets.iter().enumerate() {
-            map.insert_band(FreqMhz(1_000 + 500 * i as u32), FreqBand {
-                fault_onset_mv: Some(*onset),
-                crash_mv: Some(onset - 30),
-            });
+            map.insert_band(
+                FreqMhz(1_000 + 500 * i as u32),
+                FreqBand {
+                    fault_onset_mv: Some(*onset),
+                    crash_mv: Some(onset - 30),
+                },
+            );
         }
         let mss = map.maximal_safe_offset_mv(0).unwrap();
         for (f, _) in map.iter() {
-            prop_assert_eq!(map.classify(f, mss), StateClass::Safe,
-                "mss {} unsafe at {}", mss, f);
+            assert_eq!(
+                map.classify(f, mss),
+                StateClass::Safe,
+                "mss {mss} unsafe at {f}"
+            );
         }
-    }
+    });
+}
 
-    // ---------- circuit physics ----------
+// ---------- circuit physics ----------
 
-    #[test]
-    fn alpha_power_delay_monotone(
-        vth in 200.0f64..500.0,
-        alpha in 1.0f64..2.0,
-        v1 in 550.0f64..1_400.0,
-        dv in 1.0f64..300.0,
-    ) {
-        prop_assume!(v1 > vth + 50.0);
+#[test]
+fn alpha_power_delay_monotone() {
+    cases("alpha_power_delay", |g| {
+        let vth = g.f64_in(200.0, 500.0);
+        let alpha = g.f64_in(1.0, 2.0);
+        let v1 = g.f64_in(550.0, 1_400.0);
+        let dv = g.f64_in(1.0, 300.0);
+        if v1 <= vth + 50.0 {
+            return; // discard, mirroring the original prop_assume!
+        }
         let m = AlphaPowerModel::new(50.0, vth, alpha);
-        prop_assert!(m.delay_ps(v1) >= m.delay_ps(v1 + dv));
-    }
+        assert!(m.delay_ps(v1) >= m.delay_ps(v1 + dv));
+    });
+}
 
-    #[test]
-    fn timing_budget_shrinks_with_frequency(
-        f1 in 400u32..4_800,
-        df in 100u32..1_000,
-    ) {
+#[test]
+fn timing_budget_shrinks_with_frequency() {
+    cases("timing_budget", |g| {
+        let f1 = g.u32_in(400, 4_799);
+        let df = g.u32_in(100, 999);
         let a = TimingBudget::for_frequency_mhz(f1, 30.0, 10.0);
         let b = TimingBudget::for_frequency_mhz(f1 + df, 30.0, 10.0);
-        prop_assert!(b.available_ps() <= a.available_ps());
-    }
+        assert!(b.available_ps() <= a.available_ps());
+    });
+}
 
-    #[test]
-    fn multiplier_depth_monotone_in_operand_width(
-        a_bits in 1u32..=64,
-        b_bits in 1u32..=64,
-    ) {
+#[test]
+fn multiplier_depth_monotone_in_operand_width() {
+    cases("multiplier_depth", |g| {
+        let a_bits = g.u32_in(1, 64);
+        let b_bits = g.u32_in(1, 64);
         let mul = MultiplierUnit::default();
-        let mask = |bits: u32| if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = |bits: u32| {
+            if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            }
+        };
         let narrow = mul.depth_for(mask(a_bits) >> 1, mask(b_bits) >> 1);
         let wide = mul.depth_for(mask(a_bits), mask(b_bits));
-        prop_assert!(wide >= narrow);
-    }
+        assert!(wide >= narrow);
+    });
+}
 
-    #[test]
-    fn fault_probability_monotone(slack in -200.0f64..200.0, d in 0.1f64..50.0) {
+#[test]
+fn fault_probability_monotone() {
+    cases("fault_probability", |g| {
+        let slack = g.f64_in(-200.0, 200.0);
+        let d = g.f64_in(0.1, 50.0);
         let fm = FaultModel::default();
-        prop_assert!(fm.fault_probability(slack - d) >= fm.fault_probability(slack));
-    }
+        assert!(fm.fault_probability(slack - d) >= fm.fault_probability(slack));
+    });
+}
 
-    #[test]
-    fn binomial_within_support(n in 0u64..=2_000_000, p in 0.0f64..=1.0, seed in 0u64..1000) {
+#[test]
+fn binomial_within_support() {
+    cases("binomial_support", |g| {
+        let n = g.u64_in(0, 2_000_000);
+        let p = g.f64_in(0.0, 1.0);
+        let seed = g.u64_in(0, 999);
         let mut rng = SimRng::from_seed_label(seed, "prop-binom");
         let k = sample_binomial(n, p, &mut rng);
-        prop_assert!(k <= n);
-    }
+        assert!(k <= n);
+    });
+}
 
-    #[test]
-    fn flip_masks_are_nonzero_and_in_window(sig in 0u32..=80, seed in 0u64..500) {
+#[test]
+fn flip_masks_are_nonzero_and_in_window() {
+    cases("flip_masks", |g| {
+        let sig = g.u32_in(0, 80);
+        let seed = g.u64_in(0, 499);
         let mut rng = SimRng::from_seed_label(seed, "prop-mask");
         let mask = sample_flip_mask(sig, &mut rng);
-        prop_assert_ne!(mask, 0);
+        assert_ne!(mask, 0);
         let sig = sig.clamp(2, 64);
         if sig < 64 {
-            prop_assert_eq!(mask >> sig, 0, "mask {:#x} beyond window {}", mask, sig);
+            assert_eq!(mask >> sig, 0, "mask {mask:#x} beyond window {sig}");
         }
-    }
+    });
+}
 
-    // ---------- gate-level ground truth ----------
+// ---------- gate-level ground truth ----------
 
-    #[test]
-    fn adder_netlist_equals_integer_add(x in 0u64..256, y in 0u64..256) {
+#[test]
+fn adder_netlist_equals_integer_add() {
+    cases("adder_netlist", |g| {
+        let x = g.u64_in(0, 255);
+        let y = g.u64_in(0, 255);
         let add = ripple_carry_adder(8);
-        prop_assert_eq!(add.compute(x, y), x + y);
-    }
+        assert_eq!(add.compute(x, y), x + y);
+    });
+}
 
-    #[test]
-    fn multiplier_netlist_equals_integer_mul(x in 0u64..64, y in 0u64..64) {
+#[test]
+fn multiplier_netlist_equals_integer_mul() {
+    cases("multiplier_netlist", |g| {
+        let x = g.u64_in(0, 63);
+        let y = g.u64_in(0, 63);
         let mul = array_multiplier(6);
-        prop_assert_eq!(mul.compute(x, y), x * y);
-    }
+        assert_eq!(mul.compute(x, y), x * y);
+    });
+}
 
-    // ---------- frequency table ----------
+// ---------- frequency table ----------
 
-    #[test]
-    fn quantize_lands_in_table(f in 0u32..10_000) {
+#[test]
+fn quantize_lands_in_table() {
+    cases("quantize_table", |g| {
+        let f = g.u32_in(0, 9_999);
         let table = FreqTable::new(FreqMhz(400), FreqMhz(4_900), 100);
         let q = table.quantize(FreqMhz(f));
-        prop_assert!(table.contains(q));
+        assert!(table.contains(q));
         // Quantization moves by at most half a step (or clamps).
         if (400..=4_900).contains(&f) {
-            prop_assert!((i64::from(q.mhz()) - i64::from(f)).abs() <= 50);
+            assert!((i64::from(q.mhz()) - i64::from(f)).abs() <= 50);
         }
-    }
+    });
+}
 
-    // ---------- microcode blobs ----------
+// ---------- microcode blobs ----------
 
-    #[test]
-    fn ucode_blob_round_trips(
-        revision in 1u32..=0xFFFF,
-        bound in -900i32..=0,
-        model_idx in 0usize..3,
-        date in 0u32..=0x1231_9999,
-    ) {
+#[test]
+fn ucode_blob_round_trips() {
+    cases("ucode_roundtrip", |g| {
+        let revision = g.u32_in(1, 0xFFFF);
+        let bound = g.i32_in(-900, 0);
+        let model_idx = g.usize_in(0, 2);
+        let date = g.u32_in(0, 0x1231_9999);
         let model = CpuModel::ALL[model_idx];
         let blob = UpdateBlob::package(
             MicrocodeUpdate::maximal_safe_state(revision, bound),
@@ -244,16 +373,17 @@ proptest! {
             date,
         );
         let back = UpdateBlob::decode(&blob.encode()).unwrap();
-        prop_assert_eq!(back, blob);
-        prop_assert!(back.validate_for(model).is_ok());
-    }
+        assert_eq!(back, blob);
+        assert!(back.validate_for(model).is_ok());
+    });
+}
 
-    #[test]
-    fn ucode_blob_single_bitflips_never_parse_as_different_update(
-        revision in 1u32..=0xFFFF,
-        bound in -900i32..=0,
-        bit in 0usize..64 * 8,
-    ) {
+#[test]
+fn ucode_blob_single_bitflips_never_parse_as_different_update() {
+    cases("ucode_bitflips", |g| {
+        let revision = g.u32_in(1, 0xFFFF);
+        let bound = g.i32_in(-900, 0);
+        let bit = g.usize_in(0, 64 * 8 - 1);
         let blob = UpdateBlob::package(
             MicrocodeUpdate::maximal_safe_state(revision, bound),
             CpuModel::CometLake,
@@ -266,64 +396,86 @@ proptest! {
         // for single bits) parses back identically — it must never yield
         // a *different* accepted update.
         if let Ok(parsed) = UpdateBlob::decode(&bytes) {
-            prop_assert_eq!(parsed, blob);
+            assert_eq!(parsed, blob);
         }
-    }
+    });
+}
 
-    // ---------- energy ----------
+// ---------- energy ----------
 
-    #[test]
-    fn energy_power_monotone_in_voltage_and_frequency(
-        v in 500.0f64..1_300.0,
-        dv in 1.0f64..200.0,
-        f in 400u32..4_900,
-        df in 100u32..1_000,
-    ) {
+#[test]
+fn energy_power_monotone_in_voltage_and_frequency() {
+    cases("energy_monotone", |g| {
+        let v = g.f64_in(500.0, 1_300.0);
+        let dv = g.f64_in(1.0, 200.0);
+        let f = g.u32_in(400, 4_899);
+        let df = g.u32_in(100, 999);
         let m = EnergyModel::default();
-        prop_assert!(m.core_power_w(v + dv, f, true) > m.core_power_w(v, f, true));
-        prop_assert!(m.core_power_w(v, f + df, true) > m.core_power_w(v, f, true));
-        prop_assert!(m.core_power_w(v, f, false) < m.core_power_w(v, f, true));
-    }
+        assert!(m.core_power_w(v + dv, f, true) > m.core_power_w(v, f, true));
+        assert!(m.core_power_w(v, f + df, true) > m.core_power_w(v, f, true));
+        assert!(m.core_power_w(v, f, false) < m.core_power_w(v, f, true));
+    });
+}
 
-    // ---------- rails ----------
+// ---------- rails ----------
 
-    #[test]
-    fn rails_route_loads_to_cache_plane(core in 500.0f64..1_300.0, cache in 500.0f64..1_300.0) {
-        let rails = Rails { core_mv: core, cache_mv: cache };
-        prop_assert_eq!(rails.for_class(InstrClass::Load), cache);
-        for class in [InstrClass::Imul, InstrClass::Aesenc, InstrClass::Fma, InstrClass::AluAdd] {
-            prop_assert_eq!(rails.for_class(class), core);
+#[test]
+fn rails_route_loads_to_cache_plane() {
+    cases("rails_routing", |g| {
+        let core = g.f64_in(500.0, 1_300.0);
+        let cache = g.f64_in(500.0, 1_300.0);
+        let rails = Rails {
+            core_mv: core,
+            cache_mv: cache,
+        };
+        assert_eq!(rails.for_class(InstrClass::Load), cache);
+        for class in [
+            InstrClass::Imul,
+            InstrClass::Aesenc,
+            InstrClass::Fma,
+            InstrClass::AluAdd,
+        ] {
+            assert_eq!(rails.for_class(class), core);
         }
         let u = Rails::uniform(core);
-        prop_assert_eq!(u.core_mv, u.cache_mv);
-    }
+        assert_eq!(u.core_mv, u.cache_mv);
+    });
+}
 
-    // ---------- voltage regulator ----------
+// ---------- voltage regulator ----------
 
-    #[test]
-    fn vr_stays_between_start_and_target(
-        start in 600.0f64..1_300.0,
-        target in 600.0f64..1_300.0,
-        probe_us in 0u64..5_000,
-    ) {
+#[test]
+fn vr_stays_between_start_and_target() {
+    cases("vr_bounds", |g| {
+        let start = g.f64_in(600.0, 1_300.0);
+        let target = g.f64_in(600.0, 1_300.0);
+        let probe_us = g.u64_in(0, 4_999);
         let mut vr = VoltageRegulator::new(start, SimDuration::from_micros(100), 8.0);
         vr.set_target(SimTime::ZERO, target);
         let v = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(probe_us));
-        let (lo, hi) = if start <= target { (start, target) } else { (target, start) };
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={} outside [{}, {}]", v, lo, hi);
-    }
+        let (lo, hi) = if start <= target {
+            (start, target)
+        } else {
+            (target, start)
+        };
+        assert!(
+            v >= lo - 1e-9 && v <= hi + 1e-9,
+            "v={v} outside [{lo}, {hi}]"
+        );
+    });
+}
 
-    #[test]
-    fn vr_slew_rate_is_respected(
-        start in 600.0f64..1_300.0,
-        target in 600.0f64..1_300.0,
-        t1 in 0u64..3_000,
-        dt in 1u64..500,
-    ) {
+#[test]
+fn vr_slew_rate_is_respected() {
+    cases("vr_slew", |g| {
+        let start = g.f64_in(600.0, 1_300.0);
+        let target = g.f64_in(600.0, 1_300.0);
+        let t1 = g.u64_in(0, 2_999);
+        let dt = g.u64_in(1, 499);
         let mut vr = VoltageRegulator::new(start, SimDuration::from_micros(50), 8.0);
         vr.set_target(SimTime::ZERO, target);
         let a = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(t1));
         let b = vr.voltage_mv(SimTime::ZERO + SimDuration::from_micros(t1 + dt));
-        prop_assert!((b - a).abs() <= 8.0 * dt as f64 + 1e-6);
-    }
+        assert!((b - a).abs() <= 8.0 * dt as f64 + 1e-6);
+    });
 }
