@@ -20,6 +20,18 @@ step "plugvolt-lint --workspace"
 # error-severity finding). Suppressions: // plugvolt-lint: allow(<rule>)
 cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --workspace --json
 
+step "plugvolt-lint crates/telemetry"
+# The telemetry crate instruments every hot path; hold it to the same
+# determinism gate explicitly so a workspace-list regression cannot
+# silently skip it.
+cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --root crates/telemetry --json
+
+step "telemetry crate opts into workspace lints"
+grep -Pzq '\[lints\]\nworkspace = true' crates/telemetry/Cargo.toml || {
+    echo "crates/telemetry/Cargo.toml must contain '[lints] workspace = true'" >&2
+    exit 1
+}
+
 step "cargo build --release"
 cargo build --release --workspace
 

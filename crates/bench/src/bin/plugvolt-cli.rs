@@ -8,6 +8,7 @@
 //! plugvolt-cli maximal      --map map.json [--margin 5]
 //! plugvolt-cli attack       --model comet-lake [--map map.json --deploy polling|microcode|hardware|ocm-disable]
 //! plugvolt-cli energy       --model comet-lake --map map.json
+//! plugvolt-cli telemetry    --profile profile.json [--vcd out.vcd]
 //! ```
 //!
 //! The characterization artifact is plain JSON — the same bytes the
@@ -29,6 +30,7 @@ use plugvolt_bench::experiments::energy_ablation;
 use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_kernel::machine::Machine;
+use plugvolt_telemetry::{events_to_vcd, TelemetryProfile, SCHEMA_VERSION};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -131,6 +133,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
             println!("{}", serde_json::to_string_pretty(&report)?);
+            if machine.trace().dropped() > 0 {
+                eprintln!(
+                    "note: {} trace records dropped (buffer capacity exceeded)",
+                    machine.trace().dropped()
+                );
+            }
             if report.success {
                 eprintln!("RESULT: machine compromised");
             } else {
@@ -145,9 +153,28 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", serde_json::to_string_pretty(&rows)?);
             Ok(())
         }
+        "telemetry" => {
+            let path = opt("--profile").ok_or("--profile required")?;
+            let profile: TelemetryProfile = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+            if profile.schema_version != SCHEMA_VERSION {
+                eprintln!(
+                    "warning: profile schema v{} (this build renders v{SCHEMA_VERSION})",
+                    profile.schema_version
+                );
+            }
+            print!("{}", profile.render_table());
+            if let Some(vcd_path) = opt("--vcd") {
+                std::fs::write(&vcd_path, events_to_vcd(&profile.events))?;
+                eprintln!(
+                    "{} events rendered to waveform {vcd_path}",
+                    profile.events.len()
+                );
+            }
+            Ok(())
+        }
         _ => {
             eprintln!(
-                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy> [options]\n\
+                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry> [options]\n\
                  see the module docs (`cargo doc`) for the full synopsis\n\
                  \n\
                  lint the workspace sources (determinism & MSR-safety gate):\n\

@@ -23,6 +23,9 @@
 //! --full uses the paper's full sweep resolution (slower).
 //! --json emits machine-readable JSON to stdout instead of tables
 //!        (figures/defense/levels/stepping/interval/planes/energy/units).
+//! --telemetry <path> writes a deterministic telemetry profile (JSON)
+//!        covering the run: MSR traffic, detection latency, exposure
+//!        windows (table2/defense/levels/interval).
 //! ```
 
 use plugvolt::characterize::CharacterizationRun;
@@ -31,7 +34,8 @@ use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::freq::FreqMhz;
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_msr::oc_mailbox::{encode_offset_request, OcRequest, Plane};
-use plugvolt_workloads::overhead::{run_table2, OverheadConfig};
+use plugvolt_telemetry::Sink;
+use plugvolt_workloads::overhead::{run_table2_with, OverheadConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,11 +43,27 @@ fn main() -> ExitCode {
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
     JSON_MODE.store(json, std::sync::atomic::Ordering::Relaxed);
-    let cmd = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let tpos = args.iter().position(|a| a == "--telemetry");
+    let telemetry_path = tpos.and_then(|i| args.get(i + 1)).cloned();
+    if tpos.is_some()
+        && telemetry_path
+            .as_deref()
+            .map_or(true, |p| p.starts_with("--"))
+    {
+        eprintln!("--telemetry requires a file path argument");
+        return ExitCode::from(2);
+    }
+    // The token right after --telemetry is its value, not the command.
+    let cmd = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && tpos.map_or(true, |t| *i != t + 1))
+        .map(|(_, a)| a.clone());
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro [--full] <table1|fig1|fig2|fig3|fig4|table2|defense|levels|stepping|interval|planes|energy|units|attest|all>");
+        eprintln!("usage: repro [--full] [--json] [--telemetry <path>] <table1|fig1|fig2|fig3|fig4|table2|defense|levels|stepping|interval|planes|energy|units|attest|all>");
         return ExitCode::from(2);
     };
+    let sink = telemetry_path.as_ref().map(|_| Sink::new());
     let run = |name: &str| cmd == "all" || cmd == name;
     let mut matched = cmd == "all";
 
@@ -67,15 +87,15 @@ fn main() -> ExitCode {
     }
     if run("table2") {
         matched = true;
-        table2(full);
+        table2(full, sink.as_ref());
     }
     if run("defense") {
         matched = true;
-        defense();
+        defense(sink.as_ref());
     }
     if run("levels") {
         matched = true;
-        levels();
+        levels(sink.as_ref());
     }
     if run("stepping") {
         matched = true;
@@ -83,7 +103,7 @@ fn main() -> ExitCode {
     }
     if run("interval") {
         matched = true;
-        interval();
+        interval(sink.as_ref());
     }
     if run("planes") {
         matched = true;
@@ -104,6 +124,19 @@ fn main() -> ExitCode {
     if !matched {
         eprintln!("unknown experiment '{cmd}'");
         return ExitCode::from(2);
+    }
+    if let (Some(path), Some(sink)) = (telemetry_path, sink) {
+        let profile = sink.profile(&cmd);
+        if let Err(e) = std::fs::write(&path, profile.to_json() + "\n") {
+            eprintln!("failed to write telemetry profile to {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "telemetry profile written to {path} ({} events retained, {} dropped; {} trace records dropped)",
+            profile.events.len(),
+            profile.events_dropped,
+            profile.trace_dropped
+        );
     }
     ExitCode::SUCCESS
 }
@@ -237,13 +270,13 @@ fn figure(name: &str, model: CpuModel, full: bool) {
     }
 }
 
-fn table2(full: bool) {
+fn table2(full: bool, sink: Option<&Sink>) {
     banner("Table 2: polling-countermeasure overhead on SPEC2017-like suite (Comet Lake)");
     let cfg = OverheadConfig {
         work_divisor: if full { 1 } else { 20 },
         ..OverheadConfig::default()
     };
-    let table = run_table2(&cfg).expect("harness completes");
+    let table = run_table2_with(&cfg, sink).expect("harness completes");
     if emit_json("table2", &table) {
         return;
     }
@@ -277,11 +310,11 @@ fn table2(full: bool) {
     }
 }
 
-fn defense() {
+fn defense(sink: Option<&Sink>) {
     banner("Defense matrix (§4.3): every attack vs every deployment (Comet Lake)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let cells = experiments::defense_matrix(model, &map).expect("matrix completes");
+    let cells = experiments::defense_matrix_with(model, &map, sink).expect("matrix completes");
     if emit_json("defense", &cells) {
         return;
     }
@@ -306,11 +339,11 @@ fn defense() {
     print!("{}", t.render());
 }
 
-fn levels() {
+fn levels(sink: Option<&Sink>) {
     banner("Deployment levels (§5): turnaround / exposure under a -250 mV attack write");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::deployment_levels(model, &map).expect("levels complete");
+    let rows = experiments::deployment_levels_with(model, &map, sink).expect("levels complete");
     if emit_json("levels", &rows) {
         return;
     }
@@ -364,11 +397,11 @@ fn stepping() {
     print!("{}", t.render());
 }
 
-fn interval() {
+fn interval(sink: Option<&Sink>) {
     banner("Ablation: polling period vs overhead vs turnaround (Comet Lake @ f_max)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::interval_sweep(model, &map).expect("sweep completes");
+    let rows = experiments::interval_sweep_with(model, &map, sink).expect("sweep completes");
     if emit_json("interval", &rows) {
         return;
     }

@@ -25,7 +25,16 @@ use plugvolt_kernel::msr_dev::MsrDev;
 use plugvolt_kernel::sgx::{AttestationReport, SteppingCapability};
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
+use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink};
 use serde::{Deserialize, Serialize};
+
+/// Installs the experiment-wide telemetry sink (if any) on a freshly
+/// booted machine, so all machines of one run share a single registry.
+fn install_telemetry(machine: &mut Machine, telemetry: Option<&Sink>) {
+    if let Some(sink) = telemetry {
+        machine.set_telemetry(sink.clone());
+    }
+}
 
 /// Default seed for all experiments.
 pub const SEED: u64 = 0x0DAC_2024;
@@ -144,10 +153,25 @@ pub fn defense_matrix(
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<DefenseCell>, MachineError> {
+    defense_matrix_with(model, map, None)
+}
+
+/// [`defense_matrix`] with an optional telemetry sink shared across all
+/// machines booted by the matrix.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn defense_matrix_with(
+    model: CpuModel,
+    map: &CharacterizationMap,
+    telemetry: Option<&Sink>,
+) -> Result<Vec<DefenseCell>, MachineError> {
     let mut cells = Vec::new();
     for deployment in all_deployments() {
         for attack_idx in 0..6 {
             let mut machine = Machine::new(model, SEED + attack_idx);
+            install_telemetry(&mut machine, telemetry);
             let deployment = match (&deployment, attack_idx) {
                 // The cache-plane attack needs the plane-aware polling
                 // configuration (the plane ablation shows why).
@@ -186,6 +210,9 @@ pub fn defense_matrix(
                 .as_ref()
                 .map_or(0, |s| s.borrow().detections);
             let benign = benign_dvfs_works(&mut Machine::new(model, SEED), map, &deployment)?;
+            if telemetry.is_some() {
+                machine.publish_trace_drops();
+            }
             cells.push(DefenseCell {
                 deployment: deployment.label().to_owned(),
                 attack: report.attack.clone(),
@@ -244,9 +271,27 @@ pub fn deployment_levels(
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<LevelRow>, MachineError> {
+    deployment_levels_with(model, map, None)
+}
+
+/// [`deployment_levels`] with an optional telemetry sink. When a sink is
+/// given, the per-deployment *exposure window* — total time the sampled
+/// effective (frequency, undervolt) state classified unsafe — is
+/// published as a `deploy/<label>` gauge (ns) and aggregated into the
+/// `deploy/exposure_window_us` histogram.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn deployment_levels_with(
+    model: CpuModel,
+    map: &CharacterizationMap,
+    telemetry: Option<&Sink>,
+) -> Result<Vec<LevelRow>, MachineError> {
     let mut rows = Vec::new();
     for deployment in all_deployments() {
         let mut machine = Machine::new(model, SEED);
+        install_telemetry(&mut machine, telemetry);
         let _deployed = deploy(&mut machine, map, deployment.clone())?;
         // Pin fast so −250 mV is deeply unsafe.
         let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
@@ -266,8 +311,10 @@ pub fn deployment_levels(
         let mut ever_unsafe = false;
         let mut victim_faults = 0u64;
         let mut reset_happened = false;
+        let sample = SimDuration::from_micros(10);
+        let mut exposure = SimDuration::ZERO;
         for _ in 0..500 {
-            machine.advance(SimDuration::from_micros(10));
+            machine.advance(sample);
             let f_now = machine.cpu().core_freq(CoreId(0))?;
             let nominal_now = machine.cpu().spec().nominal_voltage_mv(f_now);
             let effective = nominal_now - machine.cpu().core_voltage_mv(machine.now());
@@ -276,6 +323,7 @@ pub fn deployment_levels(
                 && map.classify(f_now, -(effective.ceil() as i32)) != StateClass::Safe
             {
                 ever_unsafe = true;
+                exposure += sample;
             }
             // A reboot clearing the offset is not countermeasure action;
             // only count neutralization before any crash.
@@ -296,6 +344,19 @@ pub fn deployment_levels(
                     victim_faults += 20_000; // a crash is at least as bad
                 }
             }
+        }
+        if let Some(sink) = telemetry {
+            let label = deployment.label();
+            sink.set_gauge(
+                MetricKey::global(&format!("deploy/{label}"), "exposure_ns"),
+                exposure.as_picos() as f64 / 1e3,
+            );
+            sink.observe(
+                MetricKey::global("deploy", "exposure_window_us"),
+                HistogramSpec::EXPOSURE_WINDOW_US,
+                exposure.as_picos() as f64 / 1e6,
+            );
+            machine.publish_trace_drops();
         }
         rows.push(LevelRow {
             deployment: deployment.label().to_owned(),
@@ -333,10 +394,25 @@ pub fn interval_sweep(
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<IntervalRow>, MachineError> {
+    interval_sweep_with(model, map, None)
+}
+
+/// [`interval_sweep`] with an optional telemetry sink shared across the
+/// per-period machines.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn interval_sweep_with(
+    model: CpuModel,
+    map: &CharacterizationMap,
+    telemetry: Option<&Sink>,
+) -> Result<Vec<IntervalRow>, MachineError> {
     let mut rows = Vec::new();
     for period_us in [10u64, 25, 50, 100, 200, 400, 800, 1_600, 3_200] {
         let period = SimDuration::from_micros(period_us);
         let mut machine = Machine::new(model, SEED);
+        install_telemetry(&mut machine, telemetry);
         let cfg = PollConfig {
             period,
             ..PollConfig::default()
@@ -379,6 +455,9 @@ pub fn interval_sweep(
             .borrow()
             .last_detection
             .map(|t| t.saturating_duration_since(written_at));
+        if telemetry.is_some() {
+            machine.publish_trace_drops();
+        }
         rows.push(IntervalRow {
             period,
             overhead_pct,

@@ -1,0 +1,67 @@
+//! End-to-end telemetry acceptance: the profile a `repro … --telemetry`
+//! run would write is deterministic, and the §5 deployment levels show
+//! the expected exposure windows.
+
+use plugvolt_bench::experiments::{deployment_levels_with, quick_map};
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_telemetry::{MetricKey, Sink};
+
+fn levels_profile() -> plugvolt_telemetry::TelemetryProfile {
+    let model = CpuModel::CometLake;
+    let map = quick_map(model);
+    let sink = Sink::new();
+    deployment_levels_with(model, &map, Some(&sink)).expect("levels complete");
+    sink.profile("levels")
+}
+
+#[test]
+fn levels_profile_is_byte_identical_across_runs() {
+    let a = levels_profile().to_json();
+    let b = levels_profile().to_json();
+    assert_eq!(a, b, "telemetry profile must be deterministic");
+}
+
+#[test]
+fn exposure_is_zero_for_hardware_levels_and_polling() {
+    let profile = levels_profile();
+    for label in ["microcode", "hardware-msr", "polling-module"] {
+        let key = format!("deploy/{label}");
+        let gauge = profile
+            .gauge(&key, "exposure_ns")
+            .unwrap_or_else(|| panic!("exposure gauge for {label} present"));
+        assert_eq!(gauge, 0.0, "{label} must leave no exposure window");
+    }
+    // The undefended machine, by contrast, is exposed for milliseconds.
+    let none = profile
+        .gauge("deploy/none", "exposure_ns")
+        .expect("exposure gauge for none present");
+    assert!(none > 1e6, "undefended exposure = {none} ns");
+}
+
+#[test]
+fn levels_profile_contains_msr_and_latency_metrics() {
+    let profile = levels_profile();
+    assert!(profile.counter_total("msr", "rdmsr") > 0);
+    assert!(profile.counter_total("msr", "wrmsr") > 0);
+    let latency = profile
+        .histogram("poll", "detection_latency_us")
+        .expect("detection latency histogram present");
+    assert!(latency.total() >= 1);
+    let exposure = profile
+        .histogram("deploy", "exposure_window_us")
+        .expect("exposure histogram present");
+    assert_eq!(exposure.total(), 5, "one exposure sample per deployment");
+    // The polling deployment detected and restored at least once.
+    let detections: Vec<_> = profile
+        .events
+        .iter()
+        .filter(|e| e.event.kind() == "detection")
+        .collect();
+    assert!(!detections.is_empty());
+    // Per-core summaries rolled up into a global row (Summary::merge).
+    assert!(profile
+        .summaries
+        .iter()
+        .any(|s| s.component == "poll" && s.name == "detection_latency_us" && s.core.is_none()));
+    let _ = MetricKey::global("poll", "detection_latency_us");
+}

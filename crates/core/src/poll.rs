@@ -24,6 +24,7 @@ use plugvolt_kernel::machine::{KernelModule, ModuleCtx};
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
 use plugvolt_msr::perf_status::PerfStatus;
+use plugvolt_telemetry::{HistogramSpec, MetricKey, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -301,6 +302,32 @@ impl KernelModule for PollingModule {
                     s.last_detection = Some(ctx.now());
                     s.detected_offsets.record(f64::from(state.offset_mv));
                 }
+                // Unsafe-state entry instant: when the adversarial offset
+                // was written. Captured before the restore write below
+                // overwrites the per-plane timestamp.
+                let entry = ctx.cpu().last_offset_write_at(plane);
+                let now = ctx.now();
+                let sink = ctx.cpu().telemetry().clone();
+                sink.emit(
+                    now,
+                    TelemetryEvent::Detection {
+                        core: core.0 as u32,
+                        freq_mhz: state.freq.mhz(),
+                        offset_mv: state.offset_mv,
+                    },
+                );
+                if let Some(entry) = entry {
+                    let latency_us = now.saturating_duration_since(entry).as_picos() as f64 / 1e6;
+                    sink.observe(
+                        MetricKey::global("poll", "detection_latency_us"),
+                        HistogramSpec::DETECTION_LATENCY_US,
+                        latency_us,
+                    );
+                    sink.record_summary(
+                        MetricKey::per_core("poll", "detection_latency_us", core.0 as u32),
+                        latency_us,
+                    );
+                }
                 ctx.trace(
                     TraceLevel::Warn,
                     format!(
@@ -312,6 +339,28 @@ impl KernelModule for PollingModule {
                 let req = OcRequest::write_offset(restore_mv, plane).encode();
                 if ctx.wrmsr_local(core, Msr::OC_MAILBOX, req).is_ok() {
                     self.stats.borrow_mut().restores += 1;
+                    sink.emit(
+                        ctx.now(),
+                        TelemetryEvent::Restore {
+                            core: core.0 as u32,
+                            restore_mv,
+                        },
+                    );
+                    if let Some(entry) = entry {
+                        // End-to-end exposure bound: the restore command
+                        // lands on the rail only after the VR latency.
+                        let landing_us = ctx
+                            .cpu()
+                            .rail_settles_at()
+                            .saturating_duration_since(entry)
+                            .as_picos() as f64
+                            / 1e6;
+                        sink.observe(
+                            MetricKey::global("poll", "restore_landing_us"),
+                            HistogramSpec::RESTORE_LANDING_US,
+                            landing_us,
+                        );
+                    }
                 }
                 // Fast-path mitigation: the mailbox restore only reaches
                 // the rail after the VR command latency, but the core can
@@ -524,6 +573,36 @@ mod tests {
         m.unload_module(MODULE_NAME)
             .expect("module was loaded by the fixture");
         assert!(m.trace().any(|r| r.message.contains("unloading after")));
+    }
+
+    #[test]
+    fn detection_records_telemetry_latency_and_events() {
+        let (mut m, stats) = machine_with_module(PollConfig::default());
+        let dev = MsrDev::open(&m, CoreId(0)).expect("core 0 always exists");
+        let req = OcRequest::write_offset(-250, Plane::Core).encode();
+        dev.write(&mut m, Msr::OC_MAILBOX, req)
+            .expect("mailbox write on a live machine succeeds");
+        m.advance(SimDuration::from_micros(250));
+        assert!(stats.borrow().detections >= 1);
+        m.telemetry().with(|reg| {
+            let latency = reg
+                .histogram(&MetricKey::global("poll", "detection_latency_us"))
+                .expect("detection latency histogram recorded");
+            assert!(latency.total() >= 1);
+            let per_core = reg
+                .summary(&MetricKey::per_core("poll", "detection_latency_us", 0))
+                .expect("per-core latency summary recorded");
+            // Detection happens on the first tick at or after the write,
+            // so latency is bounded by one polling period.
+            assert!(per_core.max().expect("non-empty summary") <= 200.0);
+            let landing = reg
+                .histogram(&MetricKey::global("poll", "restore_landing_us"))
+                .expect("restore landing histogram recorded");
+            assert!(landing.total() >= 1);
+            let kinds: Vec<&str> = reg.events().map(|e| e.event.kind()).collect();
+            assert!(kinds.contains(&"detection"));
+            assert!(kinds.contains(&"restore"));
+        });
     }
 
     #[test]

@@ -32,6 +32,7 @@ use plugvolt_msr::file::{MsrError, MsrFile, WriteOutcome};
 use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
 use plugvolt_msr::offset_limit::VoltageOffsetLimit;
 use plugvolt_msr::perf_status::{decode_perf_ctl, PerfStatus};
+use plugvolt_telemetry::{MetricKey, Sink, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,6 +93,10 @@ pub struct CpuPackage {
     cache_vr: VoltageRegulator,
     /// Last accepted mailbox offset per plane, in 1/1024 V units.
     plane_offset_units: [i16; 5],
+    /// When the offset of each plane last changed through an accepted
+    /// mailbox write — the "unsafe-state entry" instant the
+    /// countermeasure's detection-latency metric is measured from.
+    plane_offset_written_at: [Option<SimTime>; 5],
     /// Plane whose offset the mailbox response register currently holds
     /// (set by the last read/write command, like the real protocol).
     mailbox_read_plane: Plane,
@@ -106,6 +111,7 @@ pub struct CpuPackage {
     energy_model: EnergyModel,
     energy: EnergyMeter,
     energy_checkpoint: SimTime,
+    telemetry: Sink,
 }
 
 impl fmt::Debug for CpuPackage {
@@ -155,6 +161,7 @@ impl CpuPackage {
             mailbox_read_plane: Plane::Core,
             msrs: MsrFile::new(),
             plane_offset_units: [0; 5],
+            plane_offset_written_at: [None; 5],
             ocm_enabled: true,
             microcode_rev: spec.microcode,
             loaded_updates: Vec::new(),
@@ -166,6 +173,7 @@ impl CpuPackage {
             energy_model: EnergyModel::default(),
             energy: EnergyMeter::default(),
             energy_checkpoint: SimTime::ZERO,
+            telemetry: Sink::new(),
             spec,
         };
         pkg.implement_msrs();
@@ -235,6 +243,28 @@ impl CpuPackage {
         self.mailbox_writes_ignored
     }
 
+    /// The package's telemetry sink. Fresh (and private to this
+    /// package) until [`set_telemetry`](Self::set_telemetry) installs a
+    /// shared one.
+    #[must_use]
+    pub fn telemetry(&self) -> &Sink {
+        &self.telemetry
+    }
+
+    /// Installs a shared telemetry sink; the kernel does this so the
+    /// package, the machine, and every module record into one registry.
+    pub fn set_telemetry(&mut self, sink: Sink) {
+        self.telemetry = sink;
+    }
+
+    /// When `plane`'s offset last changed through an accepted mailbox
+    /// write — the instant an attacker-chosen offset took effect, which
+    /// the polling module's detection-latency metric measures from.
+    #[must_use]
+    pub fn last_offset_write_at(&self, plane: Plane) -> Option<SimTime> {
+        self.plane_offset_written_at[plane.index() as usize]
+    }
+
     /// Loads a microcode update from its distributable blob, performing
     /// the loader-side validation (container integrity + CPUID signature
     /// match) a BIOS/OS loader does before touching the sequencer.
@@ -281,6 +311,7 @@ impl CpuPackage {
     pub fn reset(&mut self, now: SimTime) {
         self.crashed = false;
         self.plane_offset_units = [0; 5];
+        self.plane_offset_written_at = [None; 5];
         self.mailbox_read_plane = Plane::Core;
         for core in &mut self.cores {
             core.set_freq(self.spec.base_freq);
@@ -369,6 +400,13 @@ impl CpuPackage {
             .get_mut(core.0)
             .ok_or(PackageError::NoSuchCore(core))?
             .set_freq(quantized);
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::PState {
+                core: core.0 as u32,
+                freq_mhz: quantized.mhz(),
+            },
+        );
         self.retarget_rail(now, PSTATE_SETTLE);
         Ok(quantized)
     }
@@ -484,14 +522,27 @@ impl CpuPackage {
         let demand = self.demand_freq();
         let offset =
             f64::from(self.plane_offset_units[Plane::Core.index() as usize]) * 1000.0 / 1024.0;
-        self.core_vr
-            .set_target_after(now, self.spec.nominal_voltage_mv(demand) + offset, settle);
+        let core_target = self.spec.nominal_voltage_mv(demand) + offset;
+        self.core_vr.set_target_after(now, core_target, settle);
         let cache_offset =
             f64::from(self.plane_offset_units[Plane::Cache.index() as usize]) * 1000.0 / 1024.0;
-        self.cache_vr.set_target_after(
+        let cache_target = self.spec.nominal_cache_voltage_mv(demand) + cache_offset;
+        self.cache_vr.set_target_after(now, cache_target, settle);
+        self.telemetry.emit(
             now,
-            self.spec.nominal_cache_voltage_mv(demand) + cache_offset,
-            settle,
+            TelemetryEvent::VrSlew {
+                plane: Plane::Core.index(),
+                target_mv: core_target.round() as i32,
+                settles_at: self.core_vr.settles_at(),
+            },
+        );
+        self.telemetry.emit(
+            now,
+            TelemetryEvent::VrSlew {
+                plane: Plane::Cache.index(),
+                target_mv: cache_target.round() as i32,
+                settles_at: self.cache_vr.settles_at(),
+            },
         );
     }
 
@@ -504,6 +555,17 @@ impl CpuPackage {
         self.ensure_alive()?;
         if core.0 >= self.cores.len() {
             return Err(PackageError::NoSuchCore(core));
+        }
+        self.telemetry
+            .incr(MetricKey::per_core("msr", "rdmsr", core.0 as u32));
+        if self.telemetry.msr_events_enabled() {
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::MsrRead {
+                    core: core.0 as u32,
+                    msr: msr.addr(),
+                },
+            );
         }
         match msr {
             Msr::IA32_PERF_STATUS => {
@@ -558,15 +620,29 @@ impl CpuPackage {
         if core.0 >= self.cores.len() {
             return Err(PackageError::NoSuchCore(core));
         }
+        self.telemetry
+            .incr(MetricKey::per_core("msr", "wrmsr", core.0 as u32));
+        if self.telemetry.msr_events_enabled() {
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::MsrWrite {
+                    core: core.0 as u32,
+                    msr: msr.addr(),
+                    value,
+                },
+            );
+        }
         // OCM disable gates the mailbox before anything else sees it.
         if msr == Msr::OC_MAILBOX && !self.ocm_enabled {
             self.mailbox_writes_ignored += 1;
+            self.note_mailbox_ignored(now, core, value);
             return Ok(WriteOutcome::Ignored);
         }
         let outcome = self.msrs.wrmsr(msr, value)?;
         let WriteOutcome::Written { stored } = outcome else {
             if msr == Msr::OC_MAILBOX {
                 self.mailbox_writes_ignored += 1;
+                self.note_mailbox_ignored(now, core, value);
             }
             return Ok(outcome);
         };
@@ -577,8 +653,20 @@ impl CpuPackage {
                     if req.is_write() {
                         // The hardware clamp (if provisioned) bounds the
                         // accepted offset.
+                        let requested_mv = req.offset_mv();
                         let req = self.offset_limit.clamp(req);
                         self.plane_offset_units[req.plane().index() as usize] = req.offset_units();
+                        self.plane_offset_written_at[req.plane().index() as usize] = Some(now);
+                        self.telemetry.emit(
+                            now,
+                            TelemetryEvent::OcMailbox {
+                                core: core.0 as u32,
+                                plane: req.plane().index(),
+                                requested_mv,
+                                applied_mv: req.offset_mv(),
+                                accepted: true,
+                            },
+                        );
                         if matches!(req.plane(), Plane::Core | Plane::Cache) {
                             self.retarget_rail(now, MAILBOX_SETTLE);
                         }
@@ -596,6 +684,58 @@ impl CpuPackage {
         Ok(outcome)
     }
 
+    /// Records a swallowed mailbox write: the requested offset never
+    /// reached the regulator, so the applied offset is the plane's
+    /// current (unchanged) one. This is the event the exposure-window
+    /// metric relies on being *absent* for microcode/clamp levels.
+    fn note_mailbox_ignored(&self, now: SimTime, core: CoreId, raw: u64) {
+        self.telemetry
+            .incr(MetricKey::global("msr", "wrmsr_ignored"));
+        if let Ok(req) = OcRequest::decode(raw) {
+            if req.is_write() {
+                self.telemetry.emit(
+                    now,
+                    TelemetryEvent::OcMailbox {
+                        core: core.0 as u32,
+                        plane: req.plane().index(),
+                        requested_mv: req.offset_mv(),
+                        applied_mv: self.plane_offset_mv(req.plane()),
+                        accepted: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Latches the crashed state, emitting the telemetry event once.
+    fn latch_crash(&mut self, now: SimTime, core: CoreId) {
+        if !self.crashed {
+            self.telemetry.incr(MetricKey::global("cpu", "crashes"));
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::Crash {
+                    core: core.0 as u32,
+                },
+            );
+        }
+        self.crashed = true;
+    }
+
+    /// Accounts a batch that retired with faulty results.
+    fn note_faults(&self, now: SimTime, core: CoreId, faults: u64) {
+        if faults > 0 {
+            self.telemetry
+                .add(MetricKey::per_core("cpu", "faults", core.0 as u32), faults);
+            self.telemetry.emit(
+                now,
+                TelemetryEvent::Fault {
+                    core: core.0 as u32,
+                    faults,
+                },
+            );
+        }
+    }
+
     /// Executing on an idle core wakes it (scheduling reality).
     fn wake_if_idle(&mut self, now: SimTime, core: CoreId) -> Result<(), PackageError> {
         if !self.is_core_running(core)? {
@@ -606,13 +746,13 @@ impl CpuPackage {
 
     /// Checks the rail for collapse at `now`, latching a crash if it has
     /// fallen below the absolute minimum operating voltage.
-    fn check_rail(&mut self, now: SimTime) -> Result<Rails, PackageError> {
+    fn check_rail(&mut self, now: SimTime, core: CoreId) -> Result<Rails, PackageError> {
         self.ensure_alive()?;
         let rails = self.rails(now);
         if rails.core_mv < self.spec.absolute_min_voltage_mv()
             || rails.cache_mv < self.spec.absolute_min_voltage_mv()
         {
-            self.crashed = true;
+            self.latch_crash(now, core);
             return Err(PackageError::Crashed);
         }
         Ok(rails)
@@ -631,14 +771,20 @@ impl CpuPackage {
         b: u64,
     ) -> Result<MulExecution, PackageError> {
         self.wake_if_idle(now, core)?;
-        let rails = self.check_rail(now)?;
+        let rails = self.check_rail(now, core)?;
         let f = self.core_freq(core)?;
         let ex = self
             .engine
             .execute_imul(a, b, f, rails.core_mv, &mut self.rng);
         if ex.outcome == plugvolt_circuit::fault::FaultOutcome::Crash {
-            self.crashed = true;
+            self.latch_crash(now, core);
             return Err(PackageError::Crashed);
+        }
+        if matches!(
+            ex.outcome,
+            plugvolt_circuit::fault::FaultOutcome::Faulted { .. }
+        ) {
+            self.note_faults(now, core, 1);
         }
         Ok(ex)
     }
@@ -656,15 +802,18 @@ impl CpuPackage {
         iters: u64,
     ) -> Result<u64, PackageError> {
         self.wake_if_idle(now, core)?;
-        let rails = self.check_rail(now)?;
+        let rails = self.check_rail(now, core)?;
         let f = self.core_freq(core)?;
         match self
             .engine
             .run_imul_loop(iters, f, rails.core_mv, &mut self.rng)
         {
-            BatchOutcome::Retired { faults } => Ok(faults),
+            BatchOutcome::Retired { faults } => {
+                self.note_faults(now, core, faults);
+                Ok(faults)
+            }
             BatchOutcome::Crashed => {
-                self.crashed = true;
+                self.latch_crash(now, core);
                 Err(PackageError::Crashed)
             }
         }
@@ -683,15 +832,18 @@ impl CpuPackage {
         iters: u64,
     ) -> Result<u64, PackageError> {
         self.wake_if_idle(now, core)?;
-        let rails = self.check_rail(now)?;
+        let rails = self.check_rail(now, core)?;
         let f = self.core_freq(core)?;
         match self
             .engine
             .run_batch_on_rails(class, iters, f, rails, &mut self.rng)
         {
-            BatchOutcome::Retired { faults } => Ok(faults),
+            BatchOutcome::Retired { faults } => {
+                self.note_faults(now, core, faults);
+                Ok(faults)
+            }
             BatchOutcome::Crashed => {
-                self.crashed = true;
+                self.latch_crash(now, core);
                 Err(PackageError::Crashed)
             }
         }

@@ -204,6 +204,49 @@ mod tests {
     }
 
     #[test]
+    fn multi_eviction_drop_accounting_survives_clear() {
+        let mut tb = TraceBuffer::with_capacity(3);
+        for i in 0..10u64 {
+            tb.emit(t(i), TraceLevel::Info, "a", format!("m{i}"));
+        }
+        assert_eq!(tb.dropped(), 7);
+        assert_eq!(tb.len(), 3);
+        // clear() discards retained records but keeps the audit count.
+        tb.clear();
+        assert!(tb.is_empty());
+        assert_eq!(tb.dropped(), 7);
+        // Drops resume counting against the same total afterwards.
+        for i in 0..4u64 {
+            tb.emit(t(100 + i), TraceLevel::Info, "a", format!("n{i}"));
+        }
+        assert_eq!(tb.dropped(), 8);
+    }
+
+    #[test]
+    fn min_level_boundary_is_inclusive() {
+        let mut tb = TraceBuffer::with_capacity(8);
+        tb.set_min_level(TraceLevel::Warn);
+        tb.emit(t(1), TraceLevel::Info, "a", "below");
+        tb.emit(t(2), TraceLevel::Warn, "a", "at");
+        tb.emit(t(3), TraceLevel::Error, "a", "above");
+        let msgs: Vec<_> = tb.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["at", "above"]);
+        // Filtered-out records are suppressed, not dropped-by-capacity.
+        assert_eq!(tb.dropped(), 0);
+    }
+
+    #[test]
+    fn iter_stays_oldest_first_after_wraparound() {
+        let mut tb = TraceBuffer::with_capacity(4);
+        for i in 0..11u64 {
+            tb.emit(t(i), TraceLevel::Info, "a", format!("m{i}"));
+        }
+        let times: Vec<u64> = tb.iter().map(|r| r.at.as_picos()).collect();
+        assert_eq!(times, [7, 8, 9, 10]);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn display_formats() {
         let r = TraceRecord {
             at: t(1_000),

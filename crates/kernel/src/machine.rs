@@ -17,6 +17,7 @@ use plugvolt_des::time::{SimDuration, SimTime};
 use plugvolt_des::trace::{TraceBuffer, TraceLevel};
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::file::WriteOutcome;
+use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink};
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -93,7 +94,9 @@ impl ModuleCtx<'_> {
     ///
     /// Propagates [`PackageError`].
     pub fn rdmsr(&mut self, core: CoreId, msr: Msr) -> Result<u64, PackageError> {
-        self.charge(core, self.access_cost(core));
+        let cost = self.access_cost(core);
+        self.note_access_cost(core, cost);
+        self.charge(core, cost);
         self.cpu.rdmsr(self.now, core, msr)
     }
 
@@ -108,7 +111,9 @@ impl ModuleCtx<'_> {
         msr: Msr,
         value: u64,
     ) -> Result<WriteOutcome, PackageError> {
-        self.charge(core, self.access_cost(core));
+        let cost = self.access_cost(core);
+        self.note_access_cost(core, cost);
+        self.charge(core, cost);
         self.cpu.wrmsr(self.now, core, msr, value)
     }
 
@@ -120,7 +125,9 @@ impl ModuleCtx<'_> {
     ///
     /// Propagates [`PackageError`].
     pub fn rdmsr_local(&mut self, core: CoreId, msr: Msr) -> Result<u64, PackageError> {
-        self.charge(core, self.local_access_cost(core));
+        let cost = self.local_access_cost(core);
+        self.note_access_cost(core, cost);
+        self.charge(core, cost);
         self.cpu.rdmsr(self.now, core, msr)
     }
 
@@ -135,7 +142,9 @@ impl ModuleCtx<'_> {
         msr: Msr,
         value: u64,
     ) -> Result<WriteOutcome, PackageError> {
-        self.charge(core, self.local_access_cost(core));
+        let cost = self.local_access_cost(core);
+        self.note_access_cost(core, cost);
+        self.charge(core, cost);
         self.cpu.wrmsr(self.now, core, msr, value)
     }
 
@@ -147,10 +156,23 @@ impl ModuleCtx<'_> {
         self.cpu.engine().msr_access_duration(freq)
     }
 
+    /// Accounts the modelled cost of one kernel-context MSR access in
+    /// the telemetry registry (the time itself is charged separately).
+    fn note_access_cost(&self, core: CoreId, cost: SimDuration) {
+        self.cpu.telemetry().add(
+            MetricKey::per_core("msr", "access_cost_ps", core.0 as u32),
+            cost.as_picos(),
+        );
+    }
+
     /// Charges pure compute time (comparisons, set lookups) to a core.
     pub fn charge(&mut self, core: CoreId, cost: SimDuration) {
         if let Some(slot) = self.stolen.get_mut(core.0) {
             *slot += cost;
+            self.cpu.telemetry().add(
+                MetricKey::per_core("kernel", "stolen_ps", core.0 as u32),
+                cost.as_picos(),
+            );
         }
     }
 
@@ -318,6 +340,28 @@ impl Machine {
         &self.trace
     }
 
+    /// The machine's telemetry sink (shared with the CPU package).
+    #[must_use]
+    pub fn telemetry(&self) -> &Sink {
+        self.cpu.telemetry()
+    }
+
+    /// Installs a shared telemetry sink so several machines (e.g. the
+    /// fresh instances an experiment boots per measurement) record into
+    /// one registry.
+    pub fn set_telemetry(&mut self, sink: Sink) {
+        self.cpu.set_telemetry(sink);
+    }
+
+    /// Folds the trace buffer's silent-drop counter into the telemetry
+    /// registry. Call once per machine, after its run completes.
+    pub fn publish_trace_drops(&self) {
+        let dropped = self.trace.dropped();
+        if dropped > 0 {
+            self.cpu.telemetry().add_trace_dropped(dropped);
+        }
+    }
+
     /// Deterministic per-machine random stream (for workload jitter).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
@@ -439,9 +483,17 @@ impl Machine {
                 continue;
             }
             self.now = timer.at;
+            let steal_before: SimDuration = self.stolen.iter().copied().sum();
             if let Some(next) = self.with_module(timer.module_idx, |m, ctx| m.on_timer(ctx)) {
                 self.arm_timer(timer.module_idx, next);
             }
+            let steal_after: SimDuration = self.stolen.iter().copied().sum();
+            let iteration = steal_after.saturating_sub(steal_before);
+            self.cpu.telemetry().observe(
+                MetricKey::global("kernel", "timer_iteration_us"),
+                HistogramSpec::POLL_ITERATION_US,
+                iteration.as_picos() as f64 / 1e6,
+            );
         }
         if horizon > self.now {
             self.now = horizon;

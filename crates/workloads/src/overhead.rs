@@ -17,6 +17,7 @@ use plugvolt::charmap::CharacterizationMap;
 use plugvolt::poll::{PollConfig, PollingModule};
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_telemetry::Sink;
 use serde::{Deserialize, Serialize};
 
 /// Harness configuration.
@@ -96,6 +97,21 @@ pub fn measure_benchmark(
     cfg: &OverheadConfig,
     map: &CharacterizationMap,
 ) -> Result<Table2Row, MachineError> {
+    measure_benchmark_with(bench, cfg, map, None)
+}
+
+/// [`measure_benchmark`] with an optional telemetry sink shared by the
+/// four machines it boots (base/peak × without/with polling).
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn measure_benchmark_with(
+    bench: &Benchmark,
+    cfg: &OverheadConfig,
+    map: &CharacterizationMap,
+    telemetry: Option<&Sink>,
+) -> Result<Table2Row, MachineError> {
     let b = scaled(bench, cfg.work_divisor);
     let rates = |with_polling: bool, tuning: Tuning| -> Result<RateScore, MachineError> {
         // Each of the four measurements is an independent "run" with its
@@ -106,11 +122,18 @@ pub fn measure_benchmark(
         }
         h ^= u64::from(with_polling) << 1 | u64::from(tuning == Tuning::Peak);
         let mut machine = Machine::new(cfg.model, cfg.seed ^ h);
+        if let Some(sink) = telemetry {
+            machine.set_telemetry(sink.clone());
+        }
         if with_polling {
             let (module, _stats) = PollingModule::new(map.clone(), cfg.poll.clone());
             machine.load_module(Box::new(module))?;
         }
-        run_rate(&mut machine, &b, tuning)
+        let score = run_rate(&mut machine, &b, tuning);
+        if telemetry.is_some() {
+            machine.publish_trace_drops();
+        }
+        score
     };
     let base_without = rates(false, Tuning::Base)?.score;
     let base_with = rates(true, Tuning::Base)?.score;
@@ -133,10 +156,23 @@ pub fn measure_benchmark(
 ///
 /// Propagates machine errors.
 pub fn run_table2(cfg: &OverheadConfig) -> Result<Table2, MachineError> {
+    run_table2_with(cfg, None)
+}
+
+/// [`run_table2`] with an optional telemetry sink shared across the
+/// whole suite (every machine of every benchmark records into it).
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn run_table2_with(
+    cfg: &OverheadConfig,
+    telemetry: Option<&Sink>,
+) -> Result<Table2, MachineError> {
     let map = analytic_map(&cfg.model.spec());
     let mut rows = Vec::with_capacity(SUITE.len());
     for bench in &SUITE {
-        rows.push(measure_benchmark(bench, cfg, &map)?);
+        rows.push(measure_benchmark_with(bench, cfg, &map, telemetry)?);
     }
     let n = rows.len() as f64;
     let mean_base = rows.iter().map(|r| r.base_slowdown_pct).sum::<f64>() / n;

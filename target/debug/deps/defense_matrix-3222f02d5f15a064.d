@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_matrix-3222f02d5f15a064.d: tests/defense_matrix.rs
+
+/root/repo/target/debug/deps/defense_matrix-3222f02d5f15a064: tests/defense_matrix.rs
+
+tests/defense_matrix.rs:

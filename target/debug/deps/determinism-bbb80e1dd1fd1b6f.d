@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-bbb80e1dd1fd1b6f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-bbb80e1dd1fd1b6f: tests/determinism.rs
+
+tests/determinism.rs:

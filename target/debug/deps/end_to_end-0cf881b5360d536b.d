@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0cf881b5360d536b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0cf881b5360d536b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/json_schema-753c36fe96676932.d: crates/telemetry/tests/json_schema.rs
+
+/root/repo/target/debug/deps/json_schema-753c36fe96676932: crates/telemetry/tests/json_schema.rs
+
+crates/telemetry/tests/json_schema.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plugvolt-97ebde976e70dbb2.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/plugvolt-97ebde976e70dbb2: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/charmap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/maximal.rs:
+crates/core/src/poll.rs:
+crates/core/src/state.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plugvolt-f7ef90255870683f.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/libplugvolt-f7ef90255870683f.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/debug/deps/libplugvolt-f7ef90255870683f.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/charmap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/maximal.rs:
+crates/core/src/poll.rs:
+crates/core/src/state.rs:

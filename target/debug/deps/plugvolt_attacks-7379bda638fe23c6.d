@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/plugvolt_attacks-7379bda638fe23c6.d: crates/attacks/src/lib.rs crates/attacks/src/cacheplane.rs crates/attacks/src/campaign.rs crates/attacks/src/clkscrew.rs crates/attacks/src/crypto/mod.rs crates/attacks/src/crypto/aes.rs crates/attacks/src/crypto/rsa.rs crates/attacks/src/minefield.rs crates/attacks/src/plundervolt.rs crates/attacks/src/v0ltpwn.rs crates/attacks/src/voltjockey.rs
+
+/root/repo/target/debug/deps/libplugvolt_attacks-7379bda638fe23c6.rlib: crates/attacks/src/lib.rs crates/attacks/src/cacheplane.rs crates/attacks/src/campaign.rs crates/attacks/src/clkscrew.rs crates/attacks/src/crypto/mod.rs crates/attacks/src/crypto/aes.rs crates/attacks/src/crypto/rsa.rs crates/attacks/src/minefield.rs crates/attacks/src/plundervolt.rs crates/attacks/src/v0ltpwn.rs crates/attacks/src/voltjockey.rs
+
+/root/repo/target/debug/deps/libplugvolt_attacks-7379bda638fe23c6.rmeta: crates/attacks/src/lib.rs crates/attacks/src/cacheplane.rs crates/attacks/src/campaign.rs crates/attacks/src/clkscrew.rs crates/attacks/src/crypto/mod.rs crates/attacks/src/crypto/aes.rs crates/attacks/src/crypto/rsa.rs crates/attacks/src/minefield.rs crates/attacks/src/plundervolt.rs crates/attacks/src/v0ltpwn.rs crates/attacks/src/voltjockey.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/cacheplane.rs:
+crates/attacks/src/campaign.rs:
+crates/attacks/src/clkscrew.rs:
+crates/attacks/src/crypto/mod.rs:
+crates/attacks/src/crypto/aes.rs:
+crates/attacks/src/crypto/rsa.rs:
+crates/attacks/src/minefield.rs:
+crates/attacks/src/plundervolt.rs:
+crates/attacks/src/v0ltpwn.rs:
+crates/attacks/src/voltjockey.rs:

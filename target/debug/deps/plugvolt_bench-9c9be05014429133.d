@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plugvolt_bench-9c9be05014429133.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/libplugvolt_bench-9c9be05014429133.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/libplugvolt_bench-9c9be05014429133.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plugvolt_bench-9e6679dcf3390d80.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/debug/deps/plugvolt_bench-9e6679dcf3390d80: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_cli-0ac59e6016737c7d.d: crates/bench/src/bin/plugvolt-cli.rs
+
+/root/repo/target/debug/deps/plugvolt_cli-0ac59e6016737c7d: crates/bench/src/bin/plugvolt-cli.rs
+
+crates/bench/src/bin/plugvolt-cli.rs:

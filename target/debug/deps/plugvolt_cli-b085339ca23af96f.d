@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_cli-b085339ca23af96f.d: crates/bench/src/bin/plugvolt-cli.rs
+
+/root/repo/target/debug/deps/plugvolt_cli-b085339ca23af96f: crates/bench/src/bin/plugvolt-cli.rs
+
+crates/bench/src/bin/plugvolt-cli.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plugvolt_cpu-caea5423da50ca34.d: crates/cpu/src/lib.rs crates/cpu/src/core.rs crates/cpu/src/energy.rs crates/cpu/src/exec.rs crates/cpu/src/freq.rs crates/cpu/src/microcode.rs crates/cpu/src/model.rs crates/cpu/src/package.rs crates/cpu/src/ucode_blob.rs crates/cpu/src/vr.rs
+
+/root/repo/target/debug/deps/plugvolt_cpu-caea5423da50ca34: crates/cpu/src/lib.rs crates/cpu/src/core.rs crates/cpu/src/energy.rs crates/cpu/src/exec.rs crates/cpu/src/freq.rs crates/cpu/src/microcode.rs crates/cpu/src/model.rs crates/cpu/src/package.rs crates/cpu/src/ucode_blob.rs crates/cpu/src/vr.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/core.rs:
+crates/cpu/src/energy.rs:
+crates/cpu/src/exec.rs:
+crates/cpu/src/freq.rs:
+crates/cpu/src/microcode.rs:
+crates/cpu/src/model.rs:
+crates/cpu/src/package.rs:
+crates/cpu/src/ucode_blob.rs:
+crates/cpu/src/vr.rs:

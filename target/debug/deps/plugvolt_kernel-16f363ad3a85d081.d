@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plugvolt_kernel-16f363ad3a85d081.d: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/plugvolt_kernel-16f363ad3a85d081: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cpufreq.rs:
+crates/kernel/src/cpuidle.rs:
+crates/kernel/src/cpupower.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/msr_dev.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/sgx.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plugvolt_kernel-a4515be6cd48be5c.d: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/libplugvolt_kernel-a4515be6cd48be5c.rlib: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/debug/deps/libplugvolt_kernel-a4515be6cd48be5c.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cpufreq.rs:
+crates/kernel/src/cpuidle.rs:
+crates/kernel/src/cpupower.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/msr_dev.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/sgx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plugvolt_suite-2e8c09d9ccef9918.d: src/lib.rs
+
+/root/repo/target/debug/deps/plugvolt_suite-2e8c09d9ccef9918: src/lib.rs
+
+src/lib.rs:

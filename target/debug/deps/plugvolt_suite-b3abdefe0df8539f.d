@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plugvolt_suite-b3abdefe0df8539f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplugvolt_suite-b3abdefe0df8539f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplugvolt_suite-b3abdefe0df8539f.rmeta: src/lib.rs
+
+src/lib.rs:

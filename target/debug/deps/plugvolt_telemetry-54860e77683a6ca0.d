@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plugvolt_telemetry-54860e77683a6ca0.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/plugvolt_telemetry-54860e77683a6ca0: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plugvolt_telemetry-caf93454483aa625.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/libplugvolt_telemetry-caf93454483aa625.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/libplugvolt_telemetry-caf93454483aa625.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:

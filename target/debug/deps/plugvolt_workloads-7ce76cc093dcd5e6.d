@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plugvolt_workloads-7ce76cc093dcd5e6.d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/plugvolt_workloads-7ce76cc093dcd5e6: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/overhead.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plugvolt_workloads-8fa51250d40ebda9.d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libplugvolt_workloads-8fa51250d40ebda9.rlib: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libplugvolt_workloads-8fa51250d40ebda9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/overhead.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-902e584869d1ac62.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-902e584869d1ac62: tests/properties.rs
+
+tests/properties.rs:

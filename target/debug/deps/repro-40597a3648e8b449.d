@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-40597a3648e8b449.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-40597a3648e8b449: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b6396f574d0c3b36.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b6396f574d0c3b36: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

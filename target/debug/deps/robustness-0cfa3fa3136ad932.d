@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0cfa3fa3136ad932.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-0cfa3fa3136ad932: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/static_analysis-2bd7cb486c60b4ec.d: tests/static_analysis.rs
+
+/root/repo/target/debug/deps/static_analysis-2bd7cb486c60b4ec: tests/static_analysis.rs
+
+tests/static_analysis.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

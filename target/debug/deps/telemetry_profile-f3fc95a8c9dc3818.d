@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_profile-f3fc95a8c9dc3818.d: crates/bench/tests/telemetry_profile.rs
+
+/root/repo/target/debug/deps/telemetry_profile-f3fc95a8c9dc3818: crates/bench/tests/telemetry_profile.rs
+
+crates/bench/tests/telemetry_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/two_thread-d5e8fee188528748.d: tests/two_thread.rs
+
+/root/repo/target/debug/deps/two_thread-d5e8fee188528748: tests/two_thread.rs
+
+tests/two_thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_waveform-10893577f3959115.d: examples/attack_waveform.rs
+
+/root/repo/target/debug/examples/attack_waveform-10893577f3959115: examples/attack_waveform.rs
+
+examples/attack_waveform.rs:

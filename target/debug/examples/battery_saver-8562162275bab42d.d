@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_saver-8562162275bab42d.d: examples/battery_saver.rs
+
+/root/repo/target/debug/examples/battery_saver-8562162275bab42d: examples/battery_saver.rs
+
+examples/battery_saver.rs:

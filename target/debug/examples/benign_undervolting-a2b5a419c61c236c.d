@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benign_undervolting-a2b5a419c61c236c.d: examples/benign_undervolting.rs
+
+/root/repo/target/debug/examples/benign_undervolting-a2b5a419c61c236c: examples/benign_undervolting.rs
+
+examples/benign_undervolting.rs:

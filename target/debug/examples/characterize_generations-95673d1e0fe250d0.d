@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize_generations-95673d1e0fe250d0.d: examples/characterize_generations.rs
+
+/root/repo/target/debug/examples/characterize_generations-95673d1e0fe250d0: examples/characterize_generations.rs
+
+examples/characterize_generations.rs:

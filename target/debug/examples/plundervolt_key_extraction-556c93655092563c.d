@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plundervolt_key_extraction-556c93655092563c.d: examples/plundervolt_key_extraction.rs
+
+/root/repo/target/debug/examples/plundervolt_key_extraction-556c93655092563c: examples/plundervolt_key_extraction.rs
+
+examples/plundervolt_key_extraction.rs:

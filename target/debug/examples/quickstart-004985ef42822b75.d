@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-004985ef42822b75.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-004985ef42822b75: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/plugvolt-6c14e55d361c87c5.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/libplugvolt-6c14e55d361c87c5.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+/root/repo/target/release/deps/libplugvolt-6c14e55d361c87c5.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/charmap.rs crates/core/src/deploy.rs crates/core/src/maximal.rs crates/core/src/poll.rs crates/core/src/state.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/charmap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/maximal.rs:
+crates/core/src/poll.rs:
+crates/core/src/state.rs:

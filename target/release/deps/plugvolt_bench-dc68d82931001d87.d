@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plugvolt_bench-dc68d82931001d87.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/release/deps/libplugvolt_bench-dc68d82931001d87.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+/root/repo/target/release/deps/libplugvolt_bench-dc68d82931001d87.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/text.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/text.rs:

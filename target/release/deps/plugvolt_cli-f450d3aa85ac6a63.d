@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plugvolt_cli-f450d3aa85ac6a63.d: crates/bench/src/bin/plugvolt-cli.rs
+
+/root/repo/target/release/deps/plugvolt_cli-f450d3aa85ac6a63: crates/bench/src/bin/plugvolt-cli.rs
+
+crates/bench/src/bin/plugvolt-cli.rs:

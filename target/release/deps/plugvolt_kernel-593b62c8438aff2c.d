@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/plugvolt_kernel-593b62c8438aff2c.d: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/release/deps/libplugvolt_kernel-593b62c8438aff2c.rlib: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+/root/repo/target/release/deps/libplugvolt_kernel-593b62c8438aff2c.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cpufreq.rs crates/kernel/src/cpuidle.rs crates/kernel/src/cpupower.rs crates/kernel/src/machine.rs crates/kernel/src/msr_dev.rs crates/kernel/src/sched.rs crates/kernel/src/sgx.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cpufreq.rs:
+crates/kernel/src/cpuidle.rs:
+crates/kernel/src/cpupower.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/msr_dev.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/sgx.rs:

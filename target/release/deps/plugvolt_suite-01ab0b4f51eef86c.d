@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plugvolt_suite-01ab0b4f51eef86c.d: src/lib.rs
+
+/root/repo/target/release/deps/libplugvolt_suite-01ab0b4f51eef86c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplugvolt_suite-01ab0b4f51eef86c.rmeta: src/lib.rs
+
+src/lib.rs:

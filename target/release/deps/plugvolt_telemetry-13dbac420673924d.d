@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/plugvolt_telemetry-13dbac420673924d.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/release/deps/libplugvolt_telemetry-13dbac420673924d.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/release/deps/libplugvolt_telemetry-13dbac420673924d.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plugvolt_workloads-8ebef894c539630e.d: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libplugvolt_workloads-8ebef894c539630e.rlib: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libplugvolt_workloads-8ebef894c539630e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/overhead.rs crates/workloads/src/rate.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/overhead.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-118e42500017c8c3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-118e42500017c8c3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

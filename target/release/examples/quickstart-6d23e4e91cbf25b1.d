@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6d23e4e91cbf25b1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6d23e4e91cbf25b1: examples/quickstart.rs
+
+examples/quickstart.rs:
