@@ -5,8 +5,9 @@
 #
 #   1. formatting          cargo fmt --check
 #   2. static analysis     plugvolt-lint (determinism & MSR-safety gate)
-#   3. build               cargo build --release (whole workspace)
-#   4. tests               cargo test -q (tier-1 suite + all members)
+#   3. hygiene             no build artifacts tracked by git
+#   4. build               cargo build --release (whole workspace)
+#   5. tests               cargo test -q (tier-1 suite + all members)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,6 +32,14 @@ grep -Pzq '\[lints\]\nworkspace = true' crates/telemetry/Cargo.toml || {
     echo "crates/telemetry/Cargo.toml must contain '[lints] workspace = true'" >&2
     exit 1
 }
+
+step "no build artifacts in git"
+# target/ was purged from the index once; keep it out forever.
+tracked=$(git ls-files target/ | wc -l)
+if [ "$tracked" -ne 0 ]; then
+    echo "git tracks $tracked file(s) under target/ — run 'git rm -r --cached target/'" >&2
+    exit 1
+fi
 
 step "cargo build --release"
 cargo build --release --workspace

@@ -1,4 +1,4 @@
-//! The lint registry: six determinism & MSR-safety rules.
+//! The lint registry: seven determinism & MSR-safety rules.
 //!
 //! Each rule documents its paper rationale inline; the README's "Static
 //! analysis & determinism guarantees" section mirrors this table.
@@ -60,6 +60,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(MsrWriteDiscipline),
         Box::new(NoUnwrapInLib),
         Box::new(FloatAccumulationOrder),
+        Box::new(MachineConstructionDiscipline),
     ]
 }
 
@@ -472,6 +473,60 @@ impl Rule for FloatAccumulationOrder {
                     out,
                 );
             }
+        }
+    }
+}
+
+/// Rule 7 — `machine-construction-discipline`.
+///
+/// Non-test code must obtain machines through the bench `Scenario`
+/// layer (`crates/bench/src/scenario.rs`), which owns root-seed policy,
+/// labelled seed derivation, and telemetry installation. A scattered
+/// `Machine::new(model, <ad-hoc seed>)` silently forks the seed policy:
+/// two call sites can collide on a seed (correlated "independent" runs)
+/// or drift apart when the root seed changes. Code that sits below the
+/// bench crate in the dependency graph and genuinely cannot use the
+/// Scenario layer documents why and suppresses the rule.
+pub struct MachineConstructionDiscipline;
+
+impl Rule for MachineConstructionDiscipline {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: "machine-construction-discipline",
+            severity: Severity::Warning,
+            summary: "Machine::new/new_unit outside crates/bench/src/scenario.rs and test \
+                      code; construct machines through the bench Scenario layer",
+        }
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.path == "crates/bench/src/scenario.rs" {
+            return;
+        }
+        for (line, column) in file.find_ident("Machine") {
+            if file.is_test_code(line) {
+                continue;
+            }
+            let after = &file.masked[line - 1][column - 1 + "Machine".len()..];
+            let ctor = if after.starts_with("::new(") {
+                "new"
+            } else if after.starts_with("::new_unit(") {
+                "new_unit"
+            } else {
+                continue;
+            };
+            emit(
+                file,
+                self.meta(),
+                line,
+                column,
+                format!(
+                    "`Machine::{ctor}` outside the Scenario layer forks the seed policy; \
+                     use `Scenario::machine`/`machine_for` (crates/bench/src/scenario.rs) \
+                     so seeds stay derived, labelled and collision-free"
+                ),
+                out,
+            );
         }
     }
 }

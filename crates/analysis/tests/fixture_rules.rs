@@ -129,6 +129,30 @@ fn float_accumulation_order_fires() {
 }
 
 #[test]
+fn machine_construction_discipline_fires() {
+    let findings = scan(
+        "crates/attacks/src/fixture.rs",
+        include_str!("fixtures/machine_construction_discipline.rs"),
+    );
+    assert_eq!(rules_hit(&findings), ["machine-construction-discipline"]);
+    // `Machine::new(` and `Machine::new_unit(` in live code; the
+    // `#[cfg(test)]` constructions and the bare type mention stay clean.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.severity == Severity::Warning));
+    assert!(findings.iter().all(|f| f.message.contains("Scenario")));
+}
+
+#[test]
+fn machine_construction_discipline_exempts_scenario_and_tests() {
+    let text = include_str!("fixtures/machine_construction_discipline.rs");
+    // The Scenario layer itself is the one sanctioned construction site.
+    assert!(scan("crates/bench/src/scenario.rs", text).is_empty());
+    // Whole-file test roles are exempt wholesale.
+    assert!(scan("tests/fixture.rs", text).is_empty());
+    assert!(scan("crates/kernel/benches/fixture.rs", text).is_empty());
+}
+
+#[test]
 fn clean_fixture_is_clean_even_in_strictest_scope() {
     // Result module inside a sim crate: every rule is active here, and
     // banned names appear only in comments and strings.

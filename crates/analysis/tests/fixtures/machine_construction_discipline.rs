@@ -1,0 +1,31 @@
+//! Seeded violations for `machine-construction-discipline`: ad-hoc
+//! machine construction outside the Scenario layer.
+//!
+//! Mentioning Machine::new in a comment is fine — only code is flagged.
+
+use plugvolt_kernel::machine::Machine;
+
+pub fn adhoc_machine() -> Machine {
+    Machine::new(CpuModel::CometLake, 42) // flagged: ad-hoc seed policy
+}
+
+pub fn adhoc_unit_machine() -> Machine {
+    Machine::new_unit(CpuModel::KabyLakeR, 7, 3) // flagged too
+}
+
+pub fn unrelated_new() -> Vec<u8> {
+    // `new` on other types stays legal, as does naming the type alone.
+    let _phantom: Option<Machine> = None;
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_construct_machines_directly() {
+        let _m = Machine::new(CpuModel::CometLake, 1);
+        let _u = Machine::new_unit(CpuModel::CometLake, 1, 0);
+    }
+}

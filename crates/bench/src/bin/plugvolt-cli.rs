@@ -3,7 +3,7 @@
 //! Mirrors the workflow a vendor/admin would run on real hardware:
 //!
 //! ```text
-//! plugvolt-cli characterize --model comet-lake --out map.json [--coarse]
+//! plugvolt-cli characterize --model comet-lake --out map.json [--coarse] [--workers N]
 //! plugvolt-cli inspect      --map map.json
 //! plugvolt-cli maximal      --map map.json [--margin 5]
 //! plugvolt-cli attack       --model comet-lake [--map map.json --deploy polling|microcode|hardware|ocm-disable]
@@ -20,16 +20,16 @@
 //! MSR-write discipline; run it as
 //! `cargo run -p plugvolt-analysis --bin plugvolt-lint -- --workspace`.
 
-use plugvolt::characterize::{characterize, SweepConfig};
+use plugvolt::characterize::SweepConfig;
 use plugvolt::charmap::CharacterizationMap;
-use plugvolt::deploy::{deploy, Deployment};
+use plugvolt::deploy::Deployment;
 use plugvolt::maximal::MaximalSafeState;
 use plugvolt::poll::PollConfig;
 use plugvolt_attacks::plundervolt::{run_rsa_attack, PlundervoltConfig};
 use plugvolt_bench::experiments::energy_ablation;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::model::CpuModel;
-use plugvolt_kernel::machine::Machine;
 use plugvolt_telemetry::{events_to_vcd, TelemetryProfile, SCHEMA_VERSION};
 use std::process::ExitCode;
 
@@ -63,12 +63,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 SweepConfig::default()
             };
-            let mut machine = Machine::new(model, seed);
+            let workers = opt("--workers").map_or(Ok(1), |s| s.parse::<usize>())?;
+            let scn = Scenario::with_seed(seed);
             eprintln!(
-                "sweeping {model} ({} resolution)…",
-                if flag("--coarse") { "coarse" } else { "paper" }
+                "sweeping {model} ({} resolution, {workers} worker{})…",
+                if flag("--coarse") { "coarse" } else { "paper" },
+                if workers == 1 { "" } else { "s" }
             );
-            let run = characterize(&mut machine, &cfg)?;
+            let run = scn.characterize(model, &cfg, workers)?;
             std::fs::write(&out, serde_json::to_string_pretty(&run.map)?)?;
             eprintln!(
                 "{} grid points, {} crashes, {} simulated → {out}",
@@ -114,7 +116,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "attack" => {
             let model = parse_model(&opt("--model").ok_or("--model required")?)?;
-            let mut machine = Machine::new(model, 42);
+            let scn = Scenario::with_seed(42);
+            let mut machine = scn.machine(model);
             let deployment = match opt("--deploy").as_deref() {
                 None => Deployment::None,
                 Some("polling") => Deployment::PollingModule(PollConfig::default()),
@@ -128,7 +131,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             };
             if !matches!(deployment, Deployment::None) {
                 let map = load_map(&opt("--map").ok_or("--map required with --deploy")?)?;
-                deploy(&mut machine, &map, deployment.clone())?;
+                scn.deploy(&mut machine, &map, deployment.clone())?;
                 eprintln!("deployed {}", deployment.label());
             }
             let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
@@ -149,7 +152,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "energy" => {
             let model = parse_model(&opt("--model").ok_or("--model required")?)?;
             let map = load_map(&opt("--map").ok_or("--map required")?)?;
-            let rows = energy_ablation(model, &map)?;
+            let rows = energy_ablation(&Scenario::new(), model, &map)?;
             println!("{}", serde_json::to_string_pretty(&rows)?);
             Ok(())
         }

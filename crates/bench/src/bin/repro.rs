@@ -30,6 +30,7 @@
 
 use plugvolt::characterize::CharacterizationRun;
 use plugvolt_bench::experiments::{self, quick_map};
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::freq::FreqMhz;
 use plugvolt_cpu::model::CpuModel;
@@ -64,6 +65,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let sink = telemetry_path.as_ref().map(|_| Sink::new());
+    let scn = match &sink {
+        Some(sink) => Scenario::new().with_telemetry(sink.clone()),
+        None => Scenario::new(),
+    };
     let run = |name: &str| cmd == "all" || cmd == name;
     let mut matched = cmd == "all";
 
@@ -82,44 +87,44 @@ fn main() -> ExitCode {
     ] {
         if run(name) {
             matched = true;
-            figure(name, model, full);
+            figure(&scn, name, model, full);
         }
     }
     if run("table2") {
         matched = true;
-        table2(full, sink.as_ref());
+        table2(&scn, full);
     }
     if run("defense") {
         matched = true;
-        defense(sink.as_ref());
+        defense(&scn);
     }
     if run("levels") {
         matched = true;
-        levels(sink.as_ref());
+        levels(&scn);
     }
     if run("stepping") {
         matched = true;
-        stepping();
+        stepping(&scn);
     }
     if run("interval") {
         matched = true;
-        interval(sink.as_ref());
+        interval(&scn);
     }
     if run("planes") {
         matched = true;
-        planes();
+        planes(&scn);
     }
     if run("energy") {
         matched = true;
-        energy();
+        energy(&scn);
     }
     if run("units") {
         matched = true;
-        units();
+        units(&scn);
     }
     if run("attest") {
         matched = true;
-        attest();
+        attest(&scn);
     }
     if !matched {
         eprintln!("unknown experiment '{cmd}'");
@@ -222,7 +227,7 @@ fn fig1() {
     print!("{}", t.render());
 }
 
-fn figure(name: &str, model: CpuModel, full: bool) {
+fn figure(scn: &Scenario, name: &str, model: CpuModel, full: bool) {
     let spec = model.spec();
     banner(&format!(
         "{}: safe/unsafe characterization of {} ({}, microcode {:#x})",
@@ -232,7 +237,7 @@ fn figure(name: &str, model: CpuModel, full: bool) {
         spec.microcode
     ));
     let run: CharacterizationRun =
-        experiments::figure_characterization(model, full).expect("sweep completes");
+        experiments::figure_characterization(scn, model, full).expect("sweep completes");
     if emit_json(name, &run.map) {
         return;
     }
@@ -270,13 +275,13 @@ fn figure(name: &str, model: CpuModel, full: bool) {
     }
 }
 
-fn table2(full: bool, sink: Option<&Sink>) {
+fn table2(scn: &Scenario, full: bool) {
     banner("Table 2: polling-countermeasure overhead on SPEC2017-like suite (Comet Lake)");
     let cfg = OverheadConfig {
         work_divisor: if full { 1 } else { 20 },
         ..OverheadConfig::default()
     };
-    let table = run_table2_with(&cfg, sink).expect("harness completes");
+    let table = run_table2_with(&cfg, scn.telemetry()).expect("harness completes");
     if emit_json("table2", &table) {
         return;
     }
@@ -310,11 +315,11 @@ fn table2(full: bool, sink: Option<&Sink>) {
     }
 }
 
-fn defense(sink: Option<&Sink>) {
+fn defense(scn: &Scenario) {
     banner("Defense matrix (§4.3): every attack vs every deployment (Comet Lake)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let cells = experiments::defense_matrix_with(model, &map, sink).expect("matrix completes");
+    let cells = experiments::defense_matrix(scn, model, &map).expect("matrix completes");
     if emit_json("defense", &cells) {
         return;
     }
@@ -339,11 +344,11 @@ fn defense(sink: Option<&Sink>) {
     print!("{}", t.render());
 }
 
-fn levels(sink: Option<&Sink>) {
+fn levels(scn: &Scenario) {
     banner("Deployment levels (§5): turnaround / exposure under a -250 mV attack write");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::deployment_levels_with(model, &map, sink).expect("levels complete");
+    let rows = experiments::deployment_levels(scn, model, &map).expect("levels complete");
     if emit_json("levels", &rows) {
         return;
     }
@@ -367,11 +372,11 @@ fn levels(sink: Option<&Sink>) {
     print!("{}", t.render());
 }
 
-fn stepping() {
+fn stepping(scn: &Scenario) {
     banner("Threat model (§4.1): stepping adversaries vs deflection vs polling");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::stepping_experiment(model, &map).expect("experiment completes");
+    let rows = experiments::stepping_experiment(scn, model, &map).expect("experiment completes");
     if emit_json("stepping", &rows) {
         return;
     }
@@ -397,11 +402,11 @@ fn stepping() {
     print!("{}", t.render());
 }
 
-fn interval(sink: Option<&Sink>) {
+fn interval(scn: &Scenario) {
     banner("Ablation: polling period vs overhead vs turnaround (Comet Lake @ f_max)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::interval_sweep_with(model, &map, sink).expect("sweep completes");
+    let rows = experiments::interval_sweep(scn, model, &map).expect("sweep completes");
     if emit_json("interval", &rows) {
         return;
     }
@@ -419,11 +424,11 @@ fn interval(sink: Option<&Sink>) {
     println!(" neutralizes the write before the rail moves at all)");
 }
 
-fn planes() {
+fn planes(scn: &Scenario) {
     banner("Ablation: voltage planes watched by the polling module (Comet Lake)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::plane_ablation(model, &map).expect("ablation completes");
+    let rows = experiments::plane_ablation(scn, model, &map).expect("ablation completes");
     if emit_json("planes", &rows) {
         return;
     }
@@ -460,11 +465,11 @@ fn planes() {
     println!(" cost of two extra MSR accesses per plane per core per tick)");
 }
 
-fn energy() {
+fn energy(scn: &Scenario) {
     banner("Energy: what denying benign undervolting costs (Comet Lake, RAPL)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::energy_ablation(model, &map).expect("ablation completes");
+    let rows = experiments::energy_ablation(scn, model, &map).expect("ablation completes");
     if emit_json("energy", &rows) {
         return;
     }
@@ -490,9 +495,10 @@ fn energy() {
     println!(" runs; Intel's access-control fix forfeits it)");
 }
 
-fn units() {
+fn units(scn: &Scenario) {
     banner("Die-to-die variation: per-unit vs per-generation safe bounds (Comet Lake)");
-    let study = experiments::unit_variation_study(CpuModel::CometLake, 8).expect("study completes");
+    let study =
+        experiments::unit_variation_study(scn, CpuModel::CometLake, 8).expect("study completes");
     if emit_json("units", &study) {
         return;
     }
@@ -525,11 +531,11 @@ generation-wide bound (worst unit): {} mV",
     println!(" the kernel-module level can use each unit's own map)");
 }
 
-fn attest() {
+fn attest(scn: &Scenario) {
     banner("Attestation policies (§4.1)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::attestation_matrix(model, &map).expect("matrix completes");
+    let rows = experiments::attestation_matrix(scn, model, &map).expect("matrix completes");
     if emit_json("attest", &rows) {
         return;
     }

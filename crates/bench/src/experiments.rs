@@ -1,11 +1,15 @@
 //! The experiment runners behind every table and figure of the paper.
 //!
-//! Each function is pure-ish (machine in, report out) so the `repro`
-//! binary, the integration tests and the Criterion benches all share one
-//! implementation. See `EXPERIMENTS.md` at the repository root for the
-//! paper-vs-measured record produced from these.
+//! Each function takes a [`Scenario`] (seed + optional telemetry) and
+//! produces a report, so the `repro` binary, the integration tests and
+//! the Criterion benches all share one implementation. Machines are
+//! booted through the scenario — never constructed ad hoc here — which
+//! is what keeps every run reproducible from a single root seed. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record produced from these.
 
-use plugvolt::characterize::{analytic_map, characterize, CharacterizationRun, SweepConfig};
+use crate::scenario::Scenario;
+use plugvolt::characterize::{characterize, CharacterizationRun, CharacterizeError, SweepConfig};
 use plugvolt::charmap::CharacterizationMap;
 use plugvolt::deploy::{deploy, Deployment};
 use plugvolt::poll::{PollConfig, MODULE_NAME};
@@ -25,19 +29,11 @@ use plugvolt_kernel::msr_dev::MsrDev;
 use plugvolt_kernel::sgx::{AttestationReport, SteppingCapability};
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
-use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink};
+use plugvolt_telemetry::{HistogramSpec, MetricKey};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Installs the experiment-wide telemetry sink (if any) on a freshly
-/// booted machine, so all machines of one run share a single registry.
-fn install_telemetry(machine: &mut Machine, telemetry: Option<&Sink>) {
-    if let Some(sink) = telemetry {
-        machine.set_telemetry(sink.clone());
-    }
-}
-
-/// Default seed for all experiments.
-pub const SEED: u64 = 0x0DAC_2024;
+pub use crate::scenario::SEED;
 
 /// Figure 1 data: the Eq. 1 terms and slack as the supply drops.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,13 +89,23 @@ pub fn fig1_series(model: CpuModel, freq: FreqMhz, max_offset_mv: i32) -> Vec<Fi
 ///
 /// # Errors
 ///
-/// Propagates machine errors.
+/// Propagates sweep-configuration and machine errors.
 pub fn figure_characterization(
+    scn: &Scenario,
     model: CpuModel,
     full: bool,
-) -> Result<CharacterizationRun, MachineError> {
-    let mut machine = Machine::new(model, SEED);
-    let cfg = if full {
+) -> Result<CharacterizationRun, CharacterizeError> {
+    let mut machine = scn.machine(model);
+    let cfg = figure_sweep_config(full);
+    characterize(&mut machine, &cfg)
+}
+
+/// The sweep grid used by the Figures 2–4 characterization: the paper's
+/// 1 mV × 0.1 GHz resolution when `full`, otherwise a coarser, faster
+/// grid with identical shape.
+#[must_use]
+pub fn figure_sweep_config(full: bool) -> SweepConfig {
+    if full {
         SweepConfig::default()
     } else {
         SweepConfig {
@@ -107,8 +113,7 @@ pub fn figure_characterization(
             freq_step_mhz: 200,
             ..SweepConfig::default()
         }
-    };
-    characterize(&mut machine, &cfg)
+    }
 }
 
 /// One cell of the defense matrix (§4.3: "completely prevents DVFS
@@ -144,34 +149,23 @@ pub fn all_deployments() -> Vec<Deployment> {
     ]
 }
 
-/// Runs the full defense matrix: every attack × every deployment.
+/// Runs the full defense matrix: every attack × every deployment. Each
+/// attack campaign gets its own machine booted from a labelled derived
+/// seed, so adding or reordering attacks never perturbs the others; a
+/// telemetry sink attached to the scenario is shared across all of them.
 ///
 /// # Errors
 ///
 /// Propagates machine errors.
 pub fn defense_matrix(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
-) -> Result<Vec<DefenseCell>, MachineError> {
-    defense_matrix_with(model, map, None)
-}
-
-/// [`defense_matrix`] with an optional telemetry sink shared across all
-/// machines booted by the matrix.
-///
-/// # Errors
-///
-/// Propagates machine errors.
-pub fn defense_matrix_with(
-    model: CpuModel,
-    map: &CharacterizationMap,
-    telemetry: Option<&Sink>,
 ) -> Result<Vec<DefenseCell>, MachineError> {
     let mut cells = Vec::new();
     for deployment in all_deployments() {
         for attack_idx in 0..6 {
-            let mut machine = Machine::new(model, SEED + attack_idx);
-            install_telemetry(&mut machine, telemetry);
+            let mut machine = scn.machine_for(model, &format!("defense-matrix/attack{attack_idx}"));
             let deployment = match (&deployment, attack_idx) {
                 // The cache-plane attack needs the plane-aware polling
                 // configuration (the plane ablation shows why).
@@ -209,8 +203,8 @@ pub fn defense_matrix_with(
                 .poll_stats
                 .as_ref()
                 .map_or(0, |s| s.borrow().detections);
-            let benign = benign_dvfs_works(&mut Machine::new(model, SEED), map, &deployment)?;
-            if telemetry.is_some() {
+            let benign = benign_dvfs_works(&mut scn.machine(model), map, &deployment)?;
+            if scn.telemetry().is_some() {
                 machine.publish_trace_drops();
             }
             cells.push(DefenseCell {
@@ -264,34 +258,23 @@ pub struct LevelRow {
 /// Measures actual exposure per deployment level: attack write at t₀,
 /// victim hammering imuls, rail watched for 5 ms.
 ///
-/// # Errors
-///
-/// Propagates machine errors.
-pub fn deployment_levels(
-    model: CpuModel,
-    map: &CharacterizationMap,
-) -> Result<Vec<LevelRow>, MachineError> {
-    deployment_levels_with(model, map, None)
-}
-
-/// [`deployment_levels`] with an optional telemetry sink. When a sink is
-/// given, the per-deployment *exposure window* — total time the sampled
-/// effective (frequency, undervolt) state classified unsafe — is
-/// published as a `deploy/<label>` gauge (ns) and aggregated into the
+/// When the scenario carries a telemetry sink, the per-deployment
+/// *exposure window* — total time the sampled effective (frequency,
+/// undervolt) state classified unsafe — is published as a
+/// `deploy/<label>` gauge (ns) and aggregated into the
 /// `deploy/exposure_window_us` histogram.
 ///
 /// # Errors
 ///
 /// Propagates machine errors.
-pub fn deployment_levels_with(
+pub fn deployment_levels(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
-    telemetry: Option<&Sink>,
 ) -> Result<Vec<LevelRow>, MachineError> {
     let mut rows = Vec::new();
     for deployment in all_deployments() {
-        let mut machine = Machine::new(model, SEED);
-        install_telemetry(&mut machine, telemetry);
+        let mut machine = scn.machine(model);
         let _deployed = deploy(&mut machine, map, deployment.clone())?;
         // Pin fast so −250 mV is deeply unsafe.
         let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
@@ -345,7 +328,7 @@ pub fn deployment_levels_with(
                 }
             }
         }
-        if let Some(sink) = telemetry {
+        if let Some(sink) = scn.telemetry() {
             let label = deployment.label();
             sink.set_gauge(
                 MetricKey::global(&format!("deploy/{label}"), "exposure_ns"),
@@ -387,32 +370,21 @@ pub struct IntervalRow {
 /// Sweeps the polling period: overhead vs turnaround (our ablation of
 /// the paper's design choice of a kernel-module poller).
 ///
-/// # Errors
-///
-/// Propagates machine errors.
-pub fn interval_sweep(
-    model: CpuModel,
-    map: &CharacterizationMap,
-) -> Result<Vec<IntervalRow>, MachineError> {
-    interval_sweep_with(model, map, None)
-}
-
-/// [`interval_sweep`] with an optional telemetry sink shared across the
+/// A telemetry sink attached to the scenario is shared across the
 /// per-period machines.
 ///
 /// # Errors
 ///
 /// Propagates machine errors.
-pub fn interval_sweep_with(
+pub fn interval_sweep(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
-    telemetry: Option<&Sink>,
 ) -> Result<Vec<IntervalRow>, MachineError> {
     let mut rows = Vec::new();
     for period_us in [10u64, 25, 50, 100, 200, 400, 800, 1_600, 3_200] {
         let period = SimDuration::from_micros(period_us);
-        let mut machine = Machine::new(model, SEED);
-        install_telemetry(&mut machine, telemetry);
+        let mut machine = scn.machine(model);
         let cfg = PollConfig {
             period,
             ..PollConfig::default()
@@ -455,7 +427,7 @@ pub fn interval_sweep_with(
             .borrow()
             .last_detection
             .map(|t| t.saturating_duration_since(written_at));
-        if telemetry.is_some() {
+        if scn.telemetry().is_some() {
             machine.publish_trace_drops();
         }
         rows.push(IntervalRow {
@@ -503,13 +475,17 @@ pub struct UnitStudy {
 ///
 /// # Errors
 ///
-/// Propagates machine errors.
-pub fn unit_variation_study(model: CpuModel, units: u64) -> Result<UnitStudy, MachineError> {
+/// Propagates sweep-configuration and machine errors.
+pub fn unit_variation_study(
+    scn: &Scenario,
+    model: CpuModel,
+    units: u64,
+) -> Result<UnitStudy, CharacterizeError> {
     use plugvolt::charmap::FreqBand;
     let mut rows = Vec::new();
     let mut maps = Vec::new();
     for unit in 0..units {
-        let mut machine = Machine::new_unit(model, SEED, unit);
+        let mut machine = scn.unit_machine(model, unit);
         let cfg = SweepConfig {
             offset_step_mv: 3,
             freq_step_mhz: 400,
@@ -556,7 +532,7 @@ pub fn unit_variation_study(model: CpuModel, units: u64) -> Result<UnitStudy, Ma
     // Every unit, protected by the generation map, must block the attack.
     let mut all_protected = true;
     for unit in 0..units {
-        let mut machine = Machine::new_unit(model, SEED, unit);
+        let mut machine = scn.unit_machine(model, unit);
         let _ = deploy(
             &mut machine,
             &generation,
@@ -598,6 +574,7 @@ pub struct EnergyRow {
 ///
 /// Propagates machine errors.
 pub fn energy_ablation(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<EnergyRow>, MachineError> {
@@ -609,7 +586,7 @@ pub fn energy_ablation(
         ("no undervolt (OCM disabled)", 0),
         ("maximal-safe undervolt (paper)", mss),
     ] {
-        let mut machine = Machine::new(model, SEED);
+        let mut machine = scn.machine(model);
         // Deploy the paper's polling module: the benign offset must
         // survive it for the whole window.
         let _ = deploy(
@@ -668,6 +645,7 @@ pub struct PlaneRow {
 ///
 /// Propagates machine errors.
 pub fn plane_ablation(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<PlaneRow>, MachineError> {
@@ -684,7 +662,7 @@ pub fn plane_ablation(
             ..PollConfig::default()
         };
         // Idle overhead over 50 ms.
-        let mut machine = Machine::new(model, SEED);
+        let mut machine = scn.machine(model);
         let _ = deploy(&mut machine, map, Deployment::PollingModule(cfg.clone()))?;
         machine.advance(SimDuration::from_millis(50));
         let stolen = machine.stolen_time(CoreId(0));
@@ -692,12 +670,12 @@ pub fn plane_ablation(
             stolen.as_picos() as f64 / SimDuration::from_millis(50).as_picos() as f64 * 100.0;
 
         // Core-plane Plundervolt.
-        let mut machine = Machine::new(model, SEED);
+        let mut machine = scn.machine(model);
         let _ = deploy(&mut machine, map, Deployment::PollingModule(cfg.clone()))?;
         let core_attack = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
 
         // Cache-plane campaign.
-        let mut machine = Machine::new(model, SEED);
+        let mut machine = scn.machine(model);
         let _ = deploy(&mut machine, map, Deployment::PollingModule(cfg))?;
         let cache_attack = run_cache_plane_attack(&mut machine, &CachePlaneConfig::default())?;
 
@@ -743,12 +721,12 @@ pub struct SteppingRow {
 ///
 /// Propagates machine errors.
 pub fn stepping_experiment(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<SteppingRow>, MachineError> {
     use plugvolt_attacks::crypto::rsa::{bellcore_factor, RsaKey};
     use plugvolt_attacks::minefield::{sign_with_deflection, MinefieldConfig};
-    use plugvolt_des::rng::SimRng;
 
     let mut rows = Vec::new();
     for &stepping in &[
@@ -757,14 +735,14 @@ pub fn stepping_experiment(
         SteppingCapability::ZeroStep,
     ] {
         for defense in ["deflection-traps", "plugvolt-polling"] {
-            let mut machine = Machine::new(model, SEED);
+            let mut machine = scn.machine(model);
             let deployment = if defense == "plugvolt-polling" {
                 Deployment::PollingModule(PollConfig::default())
             } else {
                 Deployment::None
             };
             let _ = deploy(&mut machine, map, deployment)?;
-            let mut rng = SimRng::from_seed_label(SEED, "stepping");
+            let mut rng = scn.rng("stepping");
             let key = RsaKey::generate(&mut rng);
 
             // Adversary: pin fast and write a mid-band undervolt pulse.
@@ -887,6 +865,7 @@ pub struct AttestationRow {
 ///
 /// Propagates machine errors.
 pub fn attestation_matrix(
+    scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
 ) -> Result<Vec<AttestationRow>, MachineError> {
@@ -899,10 +878,10 @@ pub fn attestation_matrix(
             Deployment::PollingModule(PollConfig::default()),
         ),
     ] {
-        let mut machine = Machine::new(model, SEED);
+        let mut machine = scn.machine(model);
         let _ = deploy(&mut machine, map, deployment.clone())?;
         let report = AttestationReport::collect(&machine);
-        let benign = benign_dvfs_works(&mut Machine::new(model, SEED), map, &deployment)?;
+        let benign = benign_dvfs_works(&mut scn.machine(model), map, &deployment)?;
         rows.push(AttestationRow {
             config: config.to_owned(),
             plugvolt_ok: report.acceptable_to_plugvolt_verifier(MODULE_NAME),
@@ -914,10 +893,11 @@ pub fn attestation_matrix(
 }
 
 /// A quick analytic map for experiments that do not need the empirical
-/// sweep (see [`analytic_map`]).
+/// sweep, served from the process-wide memoized store (computed at most
+/// once per model per process; see [`crate::scenario::quick_map`]).
 #[must_use]
-pub fn quick_map(model: CpuModel) -> CharacterizationMap {
-    analytic_map(&model.spec())
+pub fn quick_map(model: CpuModel) -> Arc<CharacterizationMap> {
+    crate::scenario::quick_map(model)
 }
 
 #[cfg(test)]
@@ -948,7 +928,7 @@ mod tests {
     #[test]
     fn interval_sweep_tradeoff_holds() {
         let map = quick_map(CpuModel::CometLake);
-        let rows = interval_sweep(CpuModel::CometLake, &map).unwrap();
+        let rows = interval_sweep(&Scenario::new(), CpuModel::CometLake, &map).unwrap();
         assert_eq!(rows.len(), 9);
         // Overhead decreases as the period grows.
         for w in rows.windows(2) {
@@ -961,7 +941,7 @@ mod tests {
 
     #[test]
     fn unit_study_varies_and_generation_map_protects() {
-        let study = unit_variation_study(CpuModel::CometLake, 4).unwrap();
+        let study = unit_variation_study(&Scenario::new(), CpuModel::CometLake, 4).unwrap();
         assert_eq!(study.rows.len(), 4);
         let mss: Vec<i32> = study.rows.iter().map(|r| r.own_mss_mv).collect();
         assert!(
@@ -979,7 +959,7 @@ mod tests {
     #[test]
     fn energy_ablation_shows_double_digit_savings() {
         let map = quick_map(CpuModel::CometLake);
-        let rows = energy_ablation(CpuModel::CometLake, &map).unwrap();
+        let rows = energy_ablation(&Scenario::new(), CpuModel::CometLake, &map).unwrap();
         assert_eq!(rows.len(), 2);
         assert!((10.0..25.0).contains(&rows[0].avg_power_w), "{rows:?}");
         assert_eq!(rows[0].savings_pct, 0.0);
@@ -993,7 +973,7 @@ mod tests {
     #[test]
     fn attestation_matrix_tells_the_papers_story() {
         let map = quick_map(CpuModel::CometLake);
-        let rows = attestation_matrix(CpuModel::CometLake, &map).unwrap();
+        let rows = attestation_matrix(&Scenario::new(), CpuModel::CometLake, &map).unwrap();
         let by = |c: &str| rows.iter().find(|r| r.config.contains(c)).unwrap().clone();
         let undefended = by("undefended");
         assert!(!undefended.plugvolt_ok && !undefended.intel_ok);

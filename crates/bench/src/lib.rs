@@ -3,6 +3,8 @@
 //! Benchmark and reproduction harness for the *Plug Your Volt*
 //! (DAC 2024) reproduction.
 //!
+//! - [`scenario`] — the session layer: seed derivation, machine
+//!   construction, memoized characterization maps, telemetry wiring;
 //! - [`experiments`] — one runner per table/figure/ablation of the
 //!   paper, shared by the `repro` binary, the integration tests and the
 //!   Criterion benches;
@@ -15,4 +17,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod scenario;
 pub mod text;

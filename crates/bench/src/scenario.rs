@@ -1,0 +1,271 @@
+//! The scenario/session layer: one place that owns machine
+//! construction, seed derivation, characterization-map memoization,
+//! deployment setup and telemetry wiring for every experiment entry
+//! point (the `repro` subcommands, `plugvolt-cli`, the examples and the
+//! integration tests).
+//!
+//! Before this layer existed, each entry point hand-rolled the same
+//! setup: `Machine::new(model, SEED)` calls scattered across 1,000+
+//! lines of experiment runners, `quick_map` recomputed at every call
+//! site, and telemetry threaded through duplicated `*_with(sink)`
+//! function variants. A [`Scenario`] replaces all of that:
+//!
+//! - **Machine construction** — [`Scenario::machine`] boots from the
+//!   scenario's root seed, [`Scenario::machine_for`] from a labelled
+//!   seed derived via [`plugvolt_des::rng::derive_seed`], so every
+//!   auxiliary machine gets its own independent, reproducible stream
+//!   and adding one never perturbs another;
+//! - **Seed derivation** — one root seed fans out into per-purpose
+//!   streams ([`Scenario::rng`], [`Scenario::seed_for`]) under the
+//!   workspace's stream-splitting discipline;
+//! - **Map memoization** — [`Scenario::quick_map`] serves the analytic
+//!   characterization map from a process-wide store, so it is computed
+//!   at most once per model per process however many experiments ask;
+//! - **Telemetry** — a sink attached with [`Scenario::with_telemetry`]
+//!   is installed on every machine the scenario boots, which is what
+//!   deleted the `defense_matrix_with`/`deployment_levels_with`/
+//!   `interval_sweep_with` variant pattern;
+//! - **Sharded characterization** — [`Scenario::characterize`] runs the
+//!   frequency-sharded sweep engine rooted at the scenario seed.
+//!
+//! The construction discipline is enforced by the `plugvolt-lint` rule
+//! `machine-construction-discipline`: `Machine::new` outside this
+//! module (and test code) is flagged.
+
+use plugvolt::characterize::{
+    analytic_map, characterize_sharded, CharacterizationRun, CharacterizeError, SweepConfig,
+};
+use plugvolt::charmap::CharacterizationMap;
+use plugvolt::deploy::{deploy, Deployed, Deployment};
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_des::rng::{derive_seed, SimRng};
+use plugvolt_kernel::machine::{Machine, MachineError};
+use plugvolt_telemetry::Sink;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default root seed for all experiments (the paper's venue and year).
+pub const SEED: u64 = 0x0DAC_2024;
+
+/// A simulation session: root seed plus optional telemetry sink, from
+/// which every machine, stream and map of one experiment run is drawn.
+///
+/// # Examples
+///
+/// ```
+/// use plugvolt_bench::scenario::Scenario;
+/// use plugvolt_cpu::model::CpuModel;
+///
+/// let scenario = Scenario::new();
+/// let map = scenario.quick_map(CpuModel::CometLake);
+/// let mut machine = scenario.machine(CpuModel::CometLake);
+/// assert!(map.maximal_safe_offset_mv(5).is_some());
+/// assert!(!machine.cpu().is_crashed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    root_seed: u64,
+    telemetry: Option<Sink>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario::new()
+    }
+}
+
+impl Scenario {
+    /// A session rooted at the workspace default seed [`SEED`].
+    #[must_use]
+    pub fn new() -> Self {
+        Scenario::with_seed(SEED)
+    }
+
+    /// A session rooted at an explicit seed (reproductions pin these).
+    #[must_use]
+    pub fn with_seed(root_seed: u64) -> Self {
+        Scenario {
+            root_seed,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry sink; every machine the scenario boots from
+    /// here on shares this registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Sink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// The session's root seed.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The attached telemetry sink, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Sink> {
+        self.telemetry.as_ref()
+    }
+
+    /// A labelled seed derived from the root seed (stable per label).
+    #[must_use]
+    pub fn seed_for(&self, label: &str) -> u64 {
+        derive_seed(self.root_seed, label)
+    }
+
+    /// A labelled random stream rooted at the session seed.
+    #[must_use]
+    pub fn rng(&self, label: &str) -> SimRng {
+        SimRng::from_seed_label(self.root_seed, label)
+    }
+
+    /// Boots the session's primary machine for a model, seeded with the
+    /// root seed itself (so single-machine experiments reproduce the
+    /// historical `Machine::new(model, SEED)` byte-for-byte).
+    #[must_use]
+    pub fn machine(&self, model: CpuModel) -> Machine {
+        self.install(Machine::new(model, self.root_seed))
+    }
+
+    /// Boots an auxiliary machine from a labelled derived seed — one
+    /// label per purpose, so campaigns stay independent of each other.
+    #[must_use]
+    pub fn machine_for(&self, model: CpuModel, label: &str) -> Machine {
+        self.install(Machine::new(model, self.seed_for(label)))
+    }
+
+    /// Boots a specific physical unit of a SKU (die-to-die variation
+    /// studies), seeded with the root seed.
+    #[must_use]
+    pub fn unit_machine(&self, model: CpuModel, unit: u64) -> Machine {
+        self.install(Machine::new_unit(model, self.root_seed, unit))
+    }
+
+    fn install(&self, mut machine: Machine) -> Machine {
+        if let Some(sink) = &self.telemetry {
+            machine.set_telemetry(sink.clone());
+        }
+        machine
+    }
+
+    /// The analytic characterization map for a model, memoized
+    /// process-wide: computed at most once per model per process, then
+    /// shared by every caller (the map is seed-independent physics, so
+    /// one store serves all sessions).
+    #[must_use]
+    pub fn quick_map(&self, model: CpuModel) -> Arc<CharacterizationMap> {
+        quick_map(model)
+    }
+
+    /// Runs the frequency-sharded characterization engine rooted at the
+    /// session seed across `workers` threads. Byte-identical for any
+    /// worker count (each frequency shard boots its own machine from
+    /// `derive_seed(root_seed, "characterize/f<mhz>")`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates config or machine errors from the engine.
+    pub fn characterize(
+        &self,
+        model: CpuModel,
+        cfg: &SweepConfig,
+        workers: usize,
+    ) -> Result<CharacterizationRun, CharacterizeError> {
+        characterize_sharded(model, self.root_seed, cfg, workers)
+    }
+
+    /// Deploys a countermeasure level on a machine (the S2 step),
+    /// delegating to [`plugvolt::deploy::deploy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn deploy(
+        &self,
+        machine: &mut Machine,
+        map: &CharacterizationMap,
+        deployment: Deployment,
+    ) -> Result<Deployed, MachineError> {
+        deploy(machine, map, deployment)
+    }
+}
+
+/// The process-wide memoized store behind [`Scenario::quick_map`].
+fn quick_map_store() -> &'static Mutex<BTreeMap<&'static str, Arc<CharacterizationMap>>> {
+    static STORE: OnceLock<Mutex<BTreeMap<&'static str, Arc<CharacterizationMap>>>> =
+        OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The analytic characterization map for a model, computed at most once
+/// per process (see [`Scenario::quick_map`]).
+#[must_use]
+pub fn quick_map(model: CpuModel) -> Arc<CharacterizationMap> {
+    let spec = model.spec();
+    let mut store = quick_map_store().lock().expect("quick-map store poisoned");
+    store
+        .entry(spec.name)
+        .or_insert_with(|| Arc::new(analytic_map(&spec)))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_map_is_memoized_per_process() {
+        let scenario = Scenario::new();
+        let a = scenario.quick_map(CpuModel::CometLake);
+        let b = Scenario::with_seed(999).quick_map(CpuModel::CometLake);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second lookup must serve the stored map, not recompute"
+        );
+    }
+
+    #[test]
+    fn primary_machine_reproduces_raw_construction() {
+        use plugvolt_cpu::core::CoreId;
+        let scenario = Scenario::with_seed(7);
+        let mut a = scenario.machine(CpuModel::SkyLake);
+        let mut b = Machine::new(CpuModel::SkyLake, 7);
+        let now = a.now();
+        let fa = a.cpu_mut().run_imul_loop(now, CoreId(0), 50_000);
+        let fb = b.cpu_mut().run_imul_loop(now, CoreId(0), 50_000);
+        assert_eq!(fa.ok(), fb.ok());
+    }
+
+    #[test]
+    fn labelled_machines_get_independent_seeds() {
+        let scenario = Scenario::new();
+        assert_ne!(scenario.seed_for("a"), scenario.seed_for("b"));
+        assert_eq!(scenario.seed_for("a"), Scenario::new().seed_for("a"));
+        assert_ne!(scenario.seed_for("a"), scenario.root_seed());
+    }
+
+    #[test]
+    fn telemetry_sink_is_installed_on_boot() {
+        use plugvolt::poll::PollConfig;
+        let sink = Sink::new();
+        let scenario = Scenario::new().with_telemetry(sink.clone());
+        let mut machine = scenario.machine(CpuModel::CometLake);
+        let map = scenario.quick_map(CpuModel::CometLake);
+        scenario
+            .deploy(
+                &mut machine,
+                &map,
+                Deployment::PollingModule(PollConfig::default()),
+            )
+            .expect("deploys");
+        machine.advance(plugvolt_des::time::SimDuration::from_millis(1));
+        let profile = sink.profile("t");
+        assert!(
+            profile.counter_total("msr", "rdmsr") > 0,
+            "polling activity must reach the scenario sink"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! run would write is deterministic, and the §5 deployment levels show
 //! the expected exposure windows.
 
-use plugvolt_bench::experiments::{deployment_levels_with, quick_map};
+use plugvolt_bench::experiments::{deployment_levels, quick_map};
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_telemetry::{MetricKey, Sink};
 
@@ -10,7 +11,8 @@ fn levels_profile() -> plugvolt_telemetry::TelemetryProfile {
     let model = CpuModel::CometLake;
     let map = quick_map(model);
     let sink = Sink::new();
-    deployment_levels_with(model, &map, Some(&sink)).expect("levels complete");
+    let scn = Scenario::new().with_telemetry(sink.clone());
+    deployment_levels(&scn, model, &map).expect("levels complete");
     sink.profile("levels")
 }
 

@@ -19,7 +19,9 @@
 use crate::charmap::{CharacterizationMap, FreqBand};
 use plugvolt_cpu::core::CoreId;
 use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_cpu::model::{CpuModel, CpuSpec};
 use plugvolt_cpu::package::PackageError;
+use plugvolt_des::rng::derive_seed;
 use plugvolt_des::time::{SimDuration, SimTime};
 use plugvolt_kernel::cpupower::CpuPower;
 use plugvolt_kernel::machine::{Machine, MachineError};
@@ -27,6 +29,106 @@ use plugvolt_kernel::msr_dev::MsrDev;
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::oc_mailbox::{OcRequest, Plane};
 use serde::{Deserialize, Serialize};
+
+/// A degenerate [`SweepConfig`] rejected before any machine is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepConfigError {
+    /// `offset_start_mv` must be negative (the sweep tests undervolts).
+    NonNegativeStart {
+        /// The offending start offset.
+        offset_start_mv: i32,
+    },
+    /// `offset_floor_mv` must be at or below `offset_start_mv`.
+    FloorAboveStart {
+        /// The configured start offset.
+        offset_start_mv: i32,
+        /// The configured floor offset.
+        offset_floor_mv: i32,
+    },
+    /// `offset_step_mv` must be positive.
+    NonPositiveOffsetStep {
+        /// The offending step.
+        offset_step_mv: i32,
+    },
+    /// `freq_step_mhz` must be positive.
+    ZeroFreqStep,
+    /// `imul_iters` must be positive (an empty EXECUTE loop observes
+    /// nothing).
+    ZeroImulIters,
+}
+
+impl std::fmt::Display for SweepConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepConfigError::NonNegativeStart { offset_start_mv } => write!(
+                f,
+                "offset_start_mv must be negative, got {offset_start_mv} mV"
+            ),
+            SweepConfigError::FloorAboveStart {
+                offset_start_mv,
+                offset_floor_mv,
+            } => write!(
+                f,
+                "offset_floor_mv ({offset_floor_mv} mV) must be at or below \
+                 offset_start_mv ({offset_start_mv} mV)"
+            ),
+            SweepConfigError::NonPositiveOffsetStep { offset_step_mv } => {
+                write!(f, "offset_step_mv must be positive, got {offset_step_mv}")
+            }
+            SweepConfigError::ZeroFreqStep => write!(f, "freq_step_mhz must be positive"),
+            SweepConfigError::ZeroImulIters => write!(f, "imul_iters must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SweepConfigError {}
+
+/// Everything a characterization sweep can fail with: a rejected
+/// configuration, or a machine error other than the expected
+/// sweep-induced crashes.
+#[derive(Debug)]
+pub enum CharacterizeError {
+    /// The sweep configuration is degenerate.
+    Config(SweepConfigError),
+    /// The machine failed outside the handled crash/reset cycle.
+    Machine(MachineError),
+}
+
+impl std::fmt::Display for CharacterizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharacterizeError::Config(e) => write!(f, "invalid sweep config: {e}"),
+            CharacterizeError::Machine(e) => write!(f, "machine error during sweep: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CharacterizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharacterizeError::Config(e) => Some(e),
+            CharacterizeError::Machine(e) => Some(e),
+        }
+    }
+}
+
+impl From<SweepConfigError> for CharacterizeError {
+    fn from(e: SweepConfigError) -> Self {
+        CharacterizeError::Config(e)
+    }
+}
+
+impl From<MachineError> for CharacterizeError {
+    fn from(e: MachineError) -> Self {
+        CharacterizeError::Machine(e)
+    }
+}
+
+impl From<PackageError> for CharacterizeError {
+    fn from(e: PackageError) -> Self {
+        CharacterizeError::Machine(MachineError::from(e))
+    }
+}
 
 /// Configuration of the characterization sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +176,37 @@ impl SweepConfig {
             ..SweepConfig::default()
         }
     }
+
+    /// Rejects degenerate configurations before a sweep starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SweepConfigError> {
+        if self.offset_start_mv >= 0 {
+            return Err(SweepConfigError::NonNegativeStart {
+                offset_start_mv: self.offset_start_mv,
+            });
+        }
+        if self.offset_floor_mv > self.offset_start_mv {
+            return Err(SweepConfigError::FloorAboveStart {
+                offset_start_mv: self.offset_start_mv,
+                offset_floor_mv: self.offset_floor_mv,
+            });
+        }
+        if self.offset_step_mv <= 0 {
+            return Err(SweepConfigError::NonPositiveOffsetStep {
+                offset_step_mv: self.offset_step_mv,
+            });
+        }
+        if self.freq_step_mhz == 0 {
+            return Err(SweepConfigError::ZeroFreqStep);
+        }
+        if self.imul_iters == 0 {
+            return Err(SweepConfigError::ZeroImulIters);
+        }
+        Ok(())
+    }
 }
 
 /// One grid point of the sweep (a row of the Figures 2–4 raw data).
@@ -102,24 +235,112 @@ pub struct CharacterizationRun {
     pub duration: SimDuration,
 }
 
+/// The frequencies a sweep visits for a spec: the table filtered to the
+/// configured stride, always including the table maximum (the most
+/// restrictive point of the spectrum — shallowest unsafe band — which a
+/// sweep must never skip, whatever the stride).
+fn sweep_frequencies(spec: &CpuSpec, cfg: &SweepConfig) -> Vec<FreqMhz> {
+    let mut freqs: Vec<FreqMhz> = spec
+        .freq_table
+        .iter()
+        .filter(|f| (f.mhz() - spec.freq_table.min().mhz()).is_multiple_of(cfg.freq_step_mhz))
+        .collect();
+    if freqs.last() != Some(&spec.freq_table.max()) {
+        freqs.push(spec.freq_table.max());
+    }
+    freqs
+}
+
+/// What one frequency's offset sweep produced.
+struct FreqSweep {
+    band: FreqBand,
+    records: Vec<SweepRecord>,
+    crashes: u32,
+}
+
+/// Sweeps the offset axis at one pinned frequency (the inner loop of
+/// Algorithm 2), leaving the machine at that frequency with a zero
+/// offset.
+fn sweep_one_frequency(
+    machine: &mut Machine,
+    cpupower: &mut CpuPower,
+    dev: &MsrDev,
+    cfg: &SweepConfig,
+    freq: FreqMhz,
+) -> Result<FreqSweep, MachineError> {
+    // All cores to the test frequency: the core-plane rail follows
+    // the *maximum* demand across cores, so pinning only the victim
+    // core would characterize a higher rail voltage than a machine
+    // whose other cores idle low actually sees (per-core states are
+    // then always at least as safe as this all-core worst case).
+    cpupower.frequency_set_all(machine, freq)?;
+    settle(machine);
+    let mut band = FreqBand::default();
+    let mut records = Vec::new();
+    let mut crashes = 0u32;
+    let mut offset = cfg.offset_start_mv;
+    while offset >= cfg.offset_floor_mv {
+        match test_point(machine, dev, cfg, freq, offset) {
+            Ok(faults) => {
+                records.push(SweepRecord {
+                    freq,
+                    offset_mv: offset,
+                    faults,
+                    crashed: false,
+                });
+                if faults > 0 && band.fault_onset_mv.is_none() {
+                    // The true onset lies somewhere in the last
+                    // untested step; record the conservative
+                    // (shallower) end so a coarse sweep never
+                    // under-protects. At the paper's 1 mV resolution
+                    // this is exact.
+                    band.fault_onset_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
+                }
+            }
+            Err(MachineError::Package(PackageError::Crashed)) => {
+                records.push(SweepRecord {
+                    freq,
+                    offset_mv: offset,
+                    faults: 0,
+                    crashed: true,
+                });
+                if band.crash_mv.is_none() {
+                    band.crash_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
+                }
+                crashes += 1;
+                let now = machine.now();
+                machine.cpu_mut().reset(now);
+                settle(machine);
+                cpupower.frequency_set_all(machine, freq)?;
+                settle(machine);
+                if cfg.stop_after_crash {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        offset -= cfg.offset_step_mv;
+    }
+    Ok(FreqSweep {
+        band,
+        records,
+        crashes,
+    })
+}
+
 /// Runs the paper's Algorithm 2 on a machine, returning the
 /// characterization (the machine is left reset to nominal state).
 ///
 /// # Errors
 ///
-/// Propagates machine errors other than the expected sweep-induced
+/// Returns [`CharacterizeError::Config`] for a degenerate `cfg` and
+/// propagates machine errors other than the expected sweep-induced
 /// crashes (which are handled by resetting, as on the real bench).
-///
-/// # Panics
-///
-/// Panics if `cfg` is degenerate (non-negative offsets, zero steps).
 pub fn characterize(
     machine: &mut Machine,
     cfg: &SweepConfig,
-) -> Result<CharacterizationRun, MachineError> {
-    assert!(cfg.offset_start_mv < 0 && cfg.offset_floor_mv <= cfg.offset_start_mv);
-    assert!(cfg.offset_step_mv > 0 && cfg.freq_step_mhz > 0);
-    assert!(cfg.imul_iters > 0);
+) -> Result<CharacterizationRun, CharacterizeError> {
+    cfg.validate()?;
 
     let started = machine.now();
     let mut cpupower = CpuPower::new(machine);
@@ -135,71 +356,11 @@ pub fn characterize(
     let mut records = Vec::new();
     let mut crashes = 0u32;
 
-    let mut freqs: Vec<FreqMhz> = spec
-        .freq_table
-        .iter()
-        .filter(|f| (f.mhz() - spec.freq_table.min().mhz()).is_multiple_of(cfg.freq_step_mhz))
-        .collect();
-    // The table maximum is the most restrictive point of the spectrum
-    // (shallowest unsafe band); a sweep must never skip it, whatever the
-    // stride.
-    if freqs.last() != Some(&spec.freq_table.max()) {
-        freqs.push(spec.freq_table.max());
-    }
-
-    for &freq in &freqs {
-        // All cores to the test frequency: the core-plane rail follows
-        // the *maximum* demand across cores, so pinning only the victim
-        // core would characterize a higher rail voltage than a machine
-        // whose other cores idle low actually sees (per-core states are
-        // then always at least as safe as this all-core worst case).
-        cpupower.frequency_set_all(machine, freq)?;
-        settle(machine);
-        let mut band = FreqBand::default();
-        let mut offset = cfg.offset_start_mv;
-        while offset >= cfg.offset_floor_mv {
-            match test_point(machine, &dev, cfg, freq, offset) {
-                Ok(faults) => {
-                    records.push(SweepRecord {
-                        freq,
-                        offset_mv: offset,
-                        faults,
-                        crashed: false,
-                    });
-                    if faults > 0 && band.fault_onset_mv.is_none() {
-                        // The true onset lies somewhere in the last
-                        // untested step; record the conservative
-                        // (shallower) end so a coarse sweep never
-                        // under-protects. At the paper's 1 mV resolution
-                        // this is exact.
-                        band.fault_onset_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
-                    }
-                }
-                Err(MachineError::Package(PackageError::Crashed)) => {
-                    records.push(SweepRecord {
-                        freq,
-                        offset_mv: offset,
-                        faults: 0,
-                        crashed: true,
-                    });
-                    if band.crash_mv.is_none() {
-                        band.crash_mv = Some((offset + cfg.offset_step_mv - 1).min(-1));
-                    }
-                    crashes += 1;
-                    let now = machine.now();
-                    machine.cpu_mut().reset(now);
-                    settle(machine);
-                    cpupower.frequency_set_all(machine, freq)?;
-                    settle(machine);
-                    if cfg.stop_after_crash {
-                        break;
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-            offset -= cfg.offset_step_mv;
-        }
-        map.insert_band(freq, band);
+    for freq in sweep_frequencies(&spec, cfg) {
+        let sweep = sweep_one_frequency(machine, &mut cpupower, &dev, cfg, freq)?;
+        records.extend(sweep.records);
+        crashes += sweep.crashes;
+        map.insert_band(freq, sweep.band);
     }
 
     // Restore the original operating point (Algorithm 2 lines 13–14).
@@ -214,6 +375,120 @@ pub fn characterize(
         crashes,
         duration: machine.now().saturating_duration_since(started),
     })
+}
+
+/// The seed-derivation label for one frequency shard of a sharded
+/// characterization rooted at `root_seed`.
+#[must_use]
+pub fn shard_label(freq: FreqMhz) -> String {
+    format!("characterize/f{}", freq.mhz())
+}
+
+/// Characterizes a model with the frequency axis sharded across
+/// `workers` threads.
+///
+/// Per-frequency sweeps are independent units of work (the V0LTpwn
+/// observation), so each shard boots its **own** fresh machine seeded
+/// with `derive_seed(root_seed, "characterize/f<mhz>")` and sweeps the
+/// offset axis at that single frequency; records merge back in
+/// frequency order. Because every shard's stream depends only on
+/// `(root_seed, frequency)` — never on which worker ran it or in what
+/// order — the result is byte-identical for any worker count, including
+/// the `workers == 1` sequential path (pinned by a tier-1 test).
+///
+/// The crash counter and the simulated duration are summed across
+/// shards; the duration is therefore the total simulated machine-time
+/// spent sweeping, not the wall-clock-parallel makespan.
+///
+/// Note this engine intentionally does **not** reproduce the records of
+/// the single-machine [`characterize`] (there, one package RNG stream
+/// spans all frequencies, which no frequency-parallel schedule can
+/// replay); the *map* it distills agrees at the band level.
+///
+/// # Errors
+///
+/// Returns [`CharacterizeError::Config`] for a degenerate `cfg` and
+/// propagates the first shard's machine error in frequency order.
+pub fn characterize_sharded(
+    model: CpuModel,
+    root_seed: u64,
+    cfg: &SweepConfig,
+    workers: usize,
+) -> Result<CharacterizationRun, CharacterizeError> {
+    cfg.validate()?;
+    let spec = model.spec();
+    let freqs = sweep_frequencies(&spec, cfg);
+    let workers = workers.clamp(1, freqs.len().max(1));
+
+    // One result slot per frequency; workers claim shard indices from a
+    // shared counter. `Machine` is not `Send`, so each shard constructs
+    // (and drops) its machine entirely inside its worker thread — only
+    // the plain-data sweep results cross back.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<(FreqSweep, SimDuration), MachineError>>>> =
+        freqs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let _worker = scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&freq) = freqs.get(i) else {
+                    break;
+                };
+                let result = sweep_shard(model, root_seed, cfg, freq);
+                *slots[i].lock().expect("shard slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    let spec_for_map = model.spec();
+    let mut map = CharacterizationMap::new(
+        spec_for_map.name,
+        spec_for_map.microcode,
+        cfg.offset_floor_mv,
+    );
+    let mut records = Vec::new();
+    let mut crashes = 0u32;
+    let mut duration = SimDuration::ZERO;
+    for (freq, slot) in freqs.iter().zip(slots) {
+        let result = slot
+            .into_inner()
+            .expect("shard slot poisoned")
+            .expect("every shard index was claimed by a worker");
+        let (sweep, shard_duration) = result.map_err(CharacterizeError::Machine)?;
+        records.extend(sweep.records);
+        crashes += sweep.crashes;
+        duration += shard_duration;
+        map.insert_band(*freq, sweep.band);
+    }
+    Ok(CharacterizationRun {
+        map,
+        records,
+        crashes,
+        duration,
+    })
+}
+
+/// One shard of [`characterize_sharded`]: a fresh machine, one pinned
+/// frequency, the full offset sweep.
+fn sweep_shard(
+    model: CpuModel,
+    root_seed: u64,
+    cfg: &SweepConfig,
+    freq: FreqMhz,
+) -> Result<(FreqSweep, SimDuration), MachineError> {
+    // Shard machines are the engine's own: each frequency gets a fresh
+    // boot from a derived labelled seed, which is what makes the merge
+    // worker-count-independent. Constructing them here (not through the
+    // bench Scenario layer) is the point, not an oversight.
+    // plugvolt-lint: allow(machine-construction-discipline)
+    let mut machine = Machine::new(model, derive_seed(root_seed, &shard_label(freq)));
+    let started = machine.now();
+    let mut cpupower = CpuPower::new(&machine);
+    let dev = MsrDev::open(&machine, cfg.execute_core)?;
+    let sweep = sweep_one_frequency(&mut machine, &mut cpupower, &dev, cfg, freq)?;
+    let duration = machine.now().saturating_duration_since(started);
+    Ok((sweep, duration))
 }
 
 /// Tests one (frequency, offset) grid point: write the offset through

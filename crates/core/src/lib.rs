@@ -61,11 +61,17 @@ pub mod maximal;
 pub mod poll;
 pub mod state;
 
-pub use characterize::{characterize, CharacterizationRun, SweepConfig, SweepRecord};
+pub use characterize::{
+    characterize, characterize_sharded, CharacterizationRun, CharacterizeError, SweepConfig,
+    SweepConfigError, SweepRecord,
+};
 
 /// Convenient glob-import of the commonly used names.
 pub mod prelude {
-    pub use crate::characterize::{characterize, CharacterizationRun, SweepConfig, SweepRecord};
+    pub use crate::characterize::{
+        characterize, characterize_sharded, CharacterizationRun, CharacterizeError, SweepConfig,
+        SweepConfigError, SweepRecord,
+    };
     pub use crate::charmap::{CharacterizationMap, FreqBand};
     pub use crate::deploy::{deploy, undeploy, worst_case_turnaround, Deployed, Deployment};
     pub use crate::maximal::MaximalSafeState;

@@ -121,6 +121,11 @@ pub fn measure_benchmark_with(
             h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
         }
         h ^= u64::from(with_polling) << 1 | u64::from(tuning == Tuning::Peak);
+        // workloads sits below bench in the dependency graph, so the
+        // Scenario layer is out of reach here; the caller supplies the
+        // root seed and this FNV mix plays the role of a labelled
+        // derivation (one stream per benchmark × configuration).
+        // plugvolt-lint: allow(machine-construction-discipline)
         let mut machine = Machine::new(cfg.model, cfg.seed ^ h);
         if let Some(sink) = telemetry {
             machine.set_telemetry(sink.clone());

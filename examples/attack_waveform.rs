@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example attack_waveform`
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_des::vcd::{SignalKind, Value, VcdRecorder};
@@ -18,7 +18,8 @@ use plugvolt_msr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let scn = Scenario::with_seed(7);
+    let map = scn.quick_map(model);
 
     let mut vcd = VcdRecorder::new("plugvolt");
     let sig_rail = vcd.declare("core_rail_mv", SignalKind::Real);
@@ -28,9 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sig_restores = vcd.declare("module_restores", SignalKind::Bus(16));
 
     for (label, defended) in [("undefended", false), ("defended", true)] {
-        let mut machine = Machine::new(model, 7);
+        let mut machine = scn.machine(model);
         let stats = if defended {
-            deploy(
+            scn.deploy(
                 &mut machine,
                 &map,
                 Deployment::PollingModule(PollConfig::default()),

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example battery_saver`
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
@@ -25,11 +25,12 @@ fn measure_window(machine: &mut Machine, window: SimDuration) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CpuModel::KabyLakeR;
-    let map = analytic_map(&model.spec());
+    let scn = Scenario::with_seed(99);
+    let map = scn.quick_map(model);
     let window = SimDuration::from_millis(400);
 
-    let mut machine = Machine::new(model, 99);
-    deploy(
+    let mut machine = scn.machine(model);
+    scn.deploy(
         &mut machine,
         &map,
         Deployment::PollingModule(PollConfig::default()),

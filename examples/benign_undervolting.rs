@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example benign_undervolting`
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
@@ -27,7 +27,8 @@ fn try_user_undervolt(machine: &mut Machine) -> Result<i32, MachineError> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CpuModel::KabyLakeR; // the paper's laptop part
-    let map = analytic_map(&model.spec());
+    let scn = Scenario::with_seed(7);
+    let map = scn.quick_map(model);
 
     for (label, deployment) in [
         (
@@ -40,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         println!("== {label} ==");
-        let mut machine = Machine::new(model, 7);
-        let deployed = deploy(&mut machine, &map, deployment)?;
+        let mut machine = scn.machine(model);
+        let deployed = scn.deploy(&mut machine, &map, deployment)?;
 
         // The user applies the power-saving undervolt.
         let applied = try_user_undervolt(&mut machine)?;

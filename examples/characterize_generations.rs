@@ -2,29 +2,34 @@
 //! persist the maps as JSON artifacts — the S1 step a vendor or admin
 //! would run once per SKU before deploying the countermeasure.
 //!
+//! Uses the frequency-sharded sweep engine: each frequency shard runs
+//! on its own worker thread with a derived, labelled seed, so the
+//! result is byte-identical whatever the worker count.
+//!
 //! Run with: `cargo run --release --example characterize_generations`
 
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
-use plugvolt_kernel::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::env::temp_dir().join("plugvolt-maps");
     std::fs::create_dir_all(&out_dir)?;
 
+    let scn = Scenario::with_seed(2024);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     for model in CpuModel::ALL {
         let spec = model.spec();
         println!(
             "== {} ({}, microcode {:#x}) ==",
             spec.codename, spec.name, spec.microcode
         );
-        let mut machine = Machine::new(model, 2024);
         let cfg = SweepConfig {
             offset_step_mv: 2,
             freq_step_mhz: 200,
             ..SweepConfig::default()
         };
-        let run = characterize(&mut machine, &cfg)?;
+        let run = scn.characterize(model, &cfg, workers)?;
 
         println!("  freq      onset(mV)  crash(mV)");
         for (f, band) in run.map.iter() {

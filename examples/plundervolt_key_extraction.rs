@@ -4,18 +4,18 @@
 //!
 //! Run with: `cargo run --release --example plundervolt_key_extraction`
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
 use plugvolt_attacks::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
-use plugvolt_kernel::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let scn = Scenario::with_seed(42);
+    let map = scn.quick_map(model);
 
     println!("== phase 1: undefended machine ==");
-    let mut machine = Machine::new(model, 42);
+    let mut machine = scn.machine(model);
     let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
     println!(
         "  attack '{}': success={} after {} offset steps, {} faulty signatures, {} crashes",
@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Deployment::HardwareMsr { margin_mv: 5 },
         Deployment::OcmDisable,
     ] {
-        let mut machine = Machine::new(model, 42);
-        let deployed = deploy(&mut machine, &map, deployment.clone())?;
+        let mut machine = scn.machine(model);
+        let deployed = scn.deploy(&mut machine, &map, deployment.clone())?;
         let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?;
         let detections = deployed
             .poll_stats

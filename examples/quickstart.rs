@@ -8,14 +8,17 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
 use plugvolt_msr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Boot.
-    let mut machine = Machine::new(CpuModel::CometLake, 42);
+    // 1. Boot through a scenario session: one root seed from which
+    //    every machine and stream of this run derives.
+    let scn = Scenario::with_seed(42);
+    let mut machine = scn.machine(CpuModel::CometLake);
     let spec = machine.cpu().spec().clone();
     println!(
         "booted {} ({} cores, microcode {:#x})",
@@ -43,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  maximal safe state (5 mV margin): {mss} mV");
 
     // 3. Deploy the polling countermeasure.
-    let deployed = deploy(
+    let deployed = scn.deploy(
         &mut machine,
         &run.map,
         Deployment::PollingModule(PollConfig::default()),

@@ -3,9 +3,9 @@
 //! deployment level, plus the availability distinction versus Intel's
 //! access-control fix.
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
 use plugvolt_attacks::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
@@ -26,9 +26,9 @@ fn protective_deployments() -> Vec<Deployment> {
 #[test]
 fn every_deployment_blocks_plundervolt_rsa() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     for deployment in protective_deployments() {
-        let mut machine = Machine::new(model, 42);
+        let mut machine = Scenario::with_seed(42).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let report = run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1).expect("runs");
         assert!(!report.success, "{} failed to block", deployment.label());
@@ -39,13 +39,13 @@ fn every_deployment_blocks_plundervolt_rsa() {
 #[test]
 fn every_deployment_blocks_plundervolt_aes() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     let cfg = PlundervoltConfig {
         victims_per_step: 100,
         ..PlundervoltConfig::default()
     };
     for deployment in protective_deployments() {
-        let mut machine = Machine::new(model, 43);
+        let mut machine = Scenario::with_seed(43).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let report = run_aes_attack(&mut machine, &cfg, 2).expect("runs");
         assert!(!report.success, "{} failed to block", deployment.label());
@@ -55,9 +55,9 @@ fn every_deployment_blocks_plundervolt_aes() {
 #[test]
 fn every_deployment_blocks_voltjockey() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     for deployment in protective_deployments() {
-        let mut machine = Machine::new(model, 44);
+        let mut machine = Scenario::with_seed(44).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let report =
             run_voltjockey_attack(&mut machine, &VoltJockeyConfig::default(), 3).expect("runs");
@@ -69,9 +69,9 @@ fn every_deployment_blocks_voltjockey() {
 #[test]
 fn every_deployment_blocks_v0ltpwn() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     for deployment in protective_deployments() {
-        let mut machine = Machine::new(model, 45);
+        let mut machine = Scenario::with_seed(45).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let out = run_v0ltpwn_attack(&mut machine, &V0ltpwnConfig::default()).expect("runs");
         assert!(
@@ -92,13 +92,13 @@ fn every_deployment_blocks_v0ltpwn() {
 #[test]
 fn every_deployment_blocks_frequency_side_clkscrew() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     let cfg = ClkscrewConfig {
         benign_offset_mv: -170,
         ..ClkscrewConfig::default()
     };
     for deployment in protective_deployments() {
-        let mut machine = Machine::new(model, 46);
+        let mut machine = Scenario::with_seed(46).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let report = run_clkscrew_attack(&mut machine, &cfg).expect("runs");
         assert!(!report.success, "{} failed to block", deployment.label());
@@ -108,9 +108,9 @@ fn every_deployment_blocks_frequency_side_clkscrew() {
 #[test]
 fn only_the_papers_levels_preserve_benign_undervolting() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
+    let map = plugvolt_bench::scenario::quick_map(model);
     let benign = |deployment: Deployment| -> i32 {
-        let mut machine = Machine::new(model, 47);
+        let mut machine = Scenario::with_seed(47).machine(model);
         deploy(&mut machine, &map, deployment).expect("deploys");
         let dev = MsrDev::open(&machine, CoreId(0)).expect("opens");
         let req = OcRequest::write_offset(-40, Plane::Core).encode();
@@ -147,8 +147,8 @@ fn adversarial_module_unload_is_attestation_visible() {
     // §4.1: the adversary may rmmod the countermeasure, but the verifier
     // sees it missing from the report and refuses the enclave.
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
-    let mut machine = Machine::new(model, 48);
+    let map = plugvolt_bench::scenario::quick_map(model);
+    let mut machine = Scenario::with_seed(48).machine(model);
     deploy(
         &mut machine,
         &map,
@@ -174,8 +174,8 @@ fn repeated_attack_rewrites_never_outrun_the_poller() {
     // period still never gets the rail to move: every accepted write
     // restarts the mailbox latency window and the poller clears it again.
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
-    let mut machine = Machine::new(model, 49);
+    let map = plugvolt_bench::scenario::quick_map(model);
+    let mut machine = Scenario::with_seed(49).machine(model);
     deploy(
         &mut machine,
         &map,

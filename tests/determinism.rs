@@ -6,6 +6,7 @@
 
 use plugvolt::prelude::*;
 use plugvolt_attacks::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
@@ -14,7 +15,7 @@ use plugvolt_workloads::prelude::*;
 #[test]
 fn characterization_is_reproducible() {
     let run = |seed| {
-        let mut machine = Machine::new(CpuModel::KabyLakeR, seed);
+        let mut machine = Scenario::with_seed(seed).machine(CpuModel::KabyLakeR);
         characterize(&mut machine, &SweepConfig::coarse()).expect("sweeps")
     };
     let a = run(5);
@@ -45,7 +46,7 @@ fn characterization_is_reproducible() {
 #[test]
 fn attack_campaigns_are_reproducible() {
     let run = || {
-        let mut machine = Machine::new(CpuModel::CometLake, 42);
+        let mut machine = Scenario::with_seed(42).machine(CpuModel::CometLake);
         run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 9).expect("runs")
     };
     assert_eq!(run(), run());
@@ -65,7 +66,7 @@ fn table2_is_reproducible() {
 #[test]
 fn machine_histories_replay_exactly() {
     let run = || {
-        let mut machine = Machine::new(CpuModel::SkyLake, 11);
+        let mut machine = Scenario::with_seed(11).machine(CpuModel::SkyLake);
         let map = plugvolt::characterize::analytic_map(machine.cpu().spec());
         let _ = deploy(
             &mut machine,
@@ -91,4 +92,24 @@ fn machine_histories_replay_exactly() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn sharded_sweep_is_worker_count_independent() {
+    // The tentpole invariant: every frequency shard boots its own
+    // machine from a derived, labelled seed, so the merged records are
+    // byte-identical whether one worker or many walked the shards.
+    use plugvolt::characterize::characterize_sharded;
+    for model in CpuModel::ALL {
+        let cfg = SweepConfig::coarse();
+        let sequential = characterize_sharded(model, 2024, &cfg, 1).expect("sequential sweeps");
+        let sharded = characterize_sharded(model, 2024, &cfg, 4).expect("sharded sweeps");
+        assert_eq!(sequential.records, sharded.records, "{model}");
+        assert_eq!(sequential.map, sharded.map, "{model}");
+        assert_eq!(sequential.crashes, sharded.crashes, "{model}");
+        assert_eq!(sequential.duration, sharded.duration, "{model}");
+        let a = serde_json::to_string(&sequential.records).expect("serializes");
+        let b = serde_json::to_string(&sharded.records).expect("serializes");
+        assert_eq!(a, b, "{model}: records must be byte-identical");
+    }
 }

@@ -4,13 +4,14 @@
 
 use plugvolt::prelude::*;
 use plugvolt_attacks::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::SimDuration;
 use plugvolt_kernel::prelude::*;
 use plugvolt_msr::prelude::*;
 
 fn coarse_map(model: CpuModel) -> CharacterizationMap {
-    let mut machine = Machine::new(model, 2024);
+    let mut machine = Scenario::with_seed(2024).machine(model);
     characterize(&mut machine, &SweepConfig::coarse())
         .expect("sweep completes")
         .map
@@ -20,7 +21,7 @@ fn coarse_map(model: CpuModel) -> CharacterizationMap {
 fn full_pipeline_blocks_plundervolt_on_every_generation() {
     for model in CpuModel::ALL {
         let map = coarse_map(model);
-        let mut machine = Machine::new(model, 7);
+        let mut machine = Scenario::with_seed(7).machine(model);
         let deployed = deploy(
             &mut machine,
             &map,
@@ -47,7 +48,7 @@ fn full_pipeline_blocks_plundervolt_on_every_generation() {
 #[test]
 fn undefended_machines_fall_on_every_generation() {
     for model in CpuModel::ALL {
-        let mut machine = Machine::new(model, 7);
+        let mut machine = Scenario::with_seed(7).machine(model);
         let fast = machine.cpu().spec().freq_table.max();
         let cfg = PlundervoltConfig {
             target_freq: fast,
@@ -67,7 +68,7 @@ fn empirical_map_agrees_with_attack_reality() {
     // whatever it calls safe (with margin) must not fault.
     let model = CpuModel::CometLake;
     let map = coarse_map(model);
-    let mut machine = Machine::new(model, 99);
+    let mut machine = Scenario::with_seed(99).machine(model);
     let mut cpupower = CpuPower::new(&machine);
     let f = FreqMhz(4_400);
     cpupower
@@ -106,7 +107,7 @@ fn maximal_safe_state_is_globally_safe() {
     let model = CpuModel::SkyLake;
     let map = coarse_map(model);
     let mss = map.maximal_safe_offset_mv(5).expect("certifiable");
-    let mut machine = Machine::new(model, 31);
+    let mut machine = Scenario::with_seed(31).machine(model);
     let mut cpupower = CpuPower::new(&machine);
     let dev = MsrDev::open(&machine, CoreId(0)).expect("opens");
     // Hold the maximal safe offset at every 4th table frequency: never a fault.
@@ -139,7 +140,7 @@ fn microcode_and_hardware_levels_block_without_polling_cost() {
         },
         Deployment::HardwareMsr { margin_mv: 5 },
     ] {
-        let mut machine = Machine::new(model, 17);
+        let mut machine = Scenario::with_seed(17).machine(model);
         deploy(&mut machine, &map, deployment.clone()).expect("deploys");
         let fast = machine.cpu().spec().freq_table.max();
         let cfg = PlundervoltConfig {
@@ -165,7 +166,7 @@ fn characterization_map_survives_serialization_into_deployment() {
     let json = serde_json::to_string(&map).expect("serializes");
     let loaded: CharacterizationMap = serde_json::from_str(&json).expect("parses");
     assert_eq!(loaded, map);
-    let mut machine = Machine::new(CpuModel::CometLake, 3);
+    let mut machine = Scenario::with_seed(3).machine(CpuModel::CometLake);
     let deployed = deploy(
         &mut machine,
         &loaded,

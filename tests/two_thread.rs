@@ -4,8 +4,8 @@
 //! against the physics, plus an adversary/victim pairing under the
 //! polling module.
 
-use plugvolt::characterize::analytic_map;
 use plugvolt::prelude::*;
+use plugvolt_bench::scenario::Scenario;
 use plugvolt_cpu::prelude::*;
 use plugvolt_des::time::{SimDuration, SimTime};
 use plugvolt_kernel::machine::{Machine, MachineError};
@@ -86,8 +86,8 @@ impl SimThread for ExecuteThread {
 #[test]
 fn concurrent_threads_reproduce_the_fault_onset() {
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
-    let mut machine = Machine::new(model, 51);
+    let map = plugvolt_bench::scenario::quick_map(model);
+    let mut machine = Scenario::with_seed(51).machine(model);
     let mut cpupower = CpuPower::new(&machine);
     let fast = machine.cpu().spec().freq_table.max();
     cpupower.frequency_set_all(&mut machine, fast).unwrap();
@@ -210,8 +210,8 @@ fn scheduled_adversary_loses_to_the_polling_module() {
     }
 
     let model = CpuModel::CometLake;
-    let map = analytic_map(&model.spec());
-    let mut machine = Machine::new(model, 52);
+    let map = plugvolt_bench::scenario::quick_map(model);
+    let mut machine = Scenario::with_seed(52).machine(model);
     let deployed = deploy(
         &mut machine,
         &map,
