@@ -8,6 +8,7 @@
 #   3. hygiene             no build artifacts tracked by git
 #   4. build               cargo build --release (whole workspace)
 #   5. tests               cargo test -q (tier-1 suite + all members)
+#   6. bench gate          plugvolt-cli bench --smoke vs committed BENCH.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -46,5 +47,12 @@ cargo build --release --workspace
 
 step "cargo test -q"
 cargo test -q --workspace
+
+step "plugvolt-cli bench --smoke"
+# Smoke-size perf harness run: validates the pinned BENCH.json schema
+# and fails if any before/after speedup decayed to less than half the
+# ratio the committed report records (speedups are host-normalized, so
+# the comparison is meaningful on any machine).
+./target/release/plugvolt-cli bench --smoke --baseline BENCH.json
 
 step "all green"

@@ -9,6 +9,7 @@
 //! plugvolt-cli attack       --model comet-lake [--map map.json --deploy polling|microcode|hardware|ocm-disable]
 //! plugvolt-cli energy       --model comet-lake --map map.json
 //! plugvolt-cli telemetry    --profile profile.json [--vcd out.vcd]
+//! plugvolt-cli bench        [--smoke] [--out BENCH.json] [--baseline BENCH.json]
 //! ```
 //!
 //! The characterization artifact is plain JSON — the same bytes the
@@ -156,6 +157,55 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", serde_json::to_string_pretty(&rows)?);
             Ok(())
         }
+        "bench" => {
+            let smoke = flag("--smoke");
+            let out = opt("--out");
+            eprintln!(
+                "running the deterministic perf harness ({} workloads)…",
+                if smoke { "smoke" } else { "full" }
+            );
+            let report = plugvolt_bench::perf::run(smoke);
+            report
+                .validate()
+                .map_err(|e| format!("bench report failed its own schema: {e}"))?;
+            let json = report.to_json();
+            match &out {
+                Some(path) => {
+                    std::fs::write(path, &json)?;
+                    eprintln!("report written to {path}");
+                }
+                None => print!("{json}"),
+            }
+            for b in &report.benches {
+                match b.speedup {
+                    Some(s) => eprintln!(
+                        "  {:<22} {:>12} ns vs {:>12} ns analytic ({s:.2}x)",
+                        b.name,
+                        b.measured_ns,
+                        b.baseline_ns.unwrap_or(0)
+                    ),
+                    None => eprintln!(
+                        "  {:<22} {:>12} ns for {} ops",
+                        b.name, b.measured_ns, b.work_units
+                    ),
+                }
+            }
+            if let Some(path) = opt("--baseline") {
+                let baseline: plugvolt_bench::perf::BenchReport =
+                    serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+                baseline
+                    .validate()
+                    .map_err(|e| format!("baseline {path} failed schema validation: {e}"))?;
+                let regressions = report.regressions_against(&baseline);
+                if !regressions.is_empty() {
+                    return Err(
+                        format!("perf regression vs {path}: {}", regressions.join("; ")).into(),
+                    );
+                }
+                eprintln!("no >2x speedup regression vs {path}");
+            }
+            Ok(())
+        }
         "telemetry" => {
             let path = opt("--profile").ok_or("--profile required")?;
             let profile: TelemetryProfile = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
@@ -177,7 +227,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             eprintln!(
-                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry> [options]\n\
+                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry|bench> [options]\n\
                  see the module docs (`cargo doc`) for the full synopsis\n\
                  \n\
                  lint the workspace sources (determinism & MSR-safety gate):\n\

@@ -152,6 +152,13 @@ fn json_mode() -> bool {
     JSON_MODE.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Worker count for the parallel experiment matrices. The merged
+/// results are byte-identical for any worker count (pinned by
+/// `tests/determinism.rs`), so using every available core is safe.
+fn matrix_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// In JSON mode, print the serialized payload and skip the table.
 fn emit_json<T: serde::Serialize>(name: &str, payload: &T) -> bool {
     if !json_mode() {
@@ -319,7 +326,8 @@ fn defense(scn: &Scenario) {
     banner("Defense matrix (§4.3): every attack vs every deployment (Comet Lake)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let cells = experiments::defense_matrix(scn, model, &map).expect("matrix completes");
+    let cells =
+        experiments::defense_matrix(scn, model, &map, matrix_workers()).expect("matrix completes");
     if emit_json("defense", &cells) {
         return;
     }
@@ -348,7 +356,8 @@ fn levels(scn: &Scenario) {
     banner("Deployment levels (§5): turnaround / exposure under a -250 mV attack write");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::deployment_levels(scn, model, &map).expect("levels complete");
+    let rows = experiments::deployment_levels(scn, model, &map, matrix_workers())
+        .expect("levels complete");
     if emit_json("levels", &rows) {
         return;
     }
@@ -406,7 +415,8 @@ fn interval(scn: &Scenario) {
     banner("Ablation: polling period vs overhead vs turnaround (Comet Lake @ f_max)");
     let model = CpuModel::CometLake;
     let map = quick_map(model);
-    let rows = experiments::interval_sweep(scn, model, &map).expect("sweep completes");
+    let rows =
+        experiments::interval_sweep(scn, model, &map, matrix_workers()).expect("sweep completes");
     if emit_json("interval", &rows) {
         return;
     }

@@ -154,70 +154,152 @@ pub fn all_deployments() -> Vec<Deployment> {
 /// seed, so adding or reordering attacks never perturbs the others; a
 /// telemetry sink attached to the scenario is shared across all of them.
 ///
+/// Cells are farmed out over `workers` threads (like the sharded
+/// characterization engine): every cell's stream depends only on the
+/// scenario root seed and the cell's own labels, never on which worker
+/// ran it, so the merged matrix is byte-identical for any worker count
+/// (pinned by `tests/determinism.rs`). A telemetry sink forces the
+/// sequential path — the sink is single-threaded by design.
+///
 /// # Errors
 ///
-/// Propagates machine errors.
+/// Propagates machine errors (first failing cell in matrix order).
 pub fn defense_matrix(
     scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
+    workers: usize,
 ) -> Result<Vec<DefenseCell>, MachineError> {
-    let mut cells = Vec::new();
-    for deployment in all_deployments() {
-        for attack_idx in 0..6 {
-            let mut machine = scn.machine_for(model, &format!("defense-matrix/attack{attack_idx}"));
-            let deployment = match (&deployment, attack_idx) {
-                // The cache-plane attack needs the plane-aware polling
-                // configuration (the plane ablation shows why).
-                (Deployment::PollingModule(cfg), 5) => Deployment::PollingModule(PollConfig {
-                    planes: vec![
-                        plugvolt_msr::oc_mailbox::Plane::Core,
-                        plugvolt_msr::oc_mailbox::Plane::Cache,
-                    ],
-                    ..cfg.clone()
-                }),
-                (d, _) => (*d).clone(),
+    let deployments = all_deployments();
+    let cell_count = deployments.len() * ATTACK_COUNT;
+    run_cells(scn, workers, cell_count, |scn, i| {
+        defense_cell(
+            scn,
+            model,
+            map,
+            &deployments[i / ATTACK_COUNT],
+            i % ATTACK_COUNT,
+        )
+    })
+}
+
+/// Number of attack campaigns in the defense matrix.
+const ATTACK_COUNT: usize = 6;
+
+/// One cell of the defense matrix: boot a labelled machine, deploy,
+/// attack, check benign DVFS.
+fn defense_cell(
+    scn: &Scenario,
+    model: CpuModel,
+    map: &CharacterizationMap,
+    deployment: &Deployment,
+    attack_idx: usize,
+) -> Result<DefenseCell, MachineError> {
+    let mut machine = scn.machine_for(model, &format!("defense-matrix/attack{attack_idx}"));
+    let deployment = match (deployment, attack_idx) {
+        // The cache-plane attack needs the plane-aware polling
+        // configuration (the plane ablation shows why).
+        (Deployment::PollingModule(cfg), 5) => Deployment::PollingModule(PollConfig {
+            planes: vec![
+                plugvolt_msr::oc_mailbox::Plane::Core,
+                plugvolt_msr::oc_mailbox::Plane::Cache,
+            ],
+            ..cfg.clone()
+        }),
+        (d, _) => d.clone(),
+    };
+    let deployed = deploy(&mut machine, map, deployment.clone())?;
+    let report: AttackReport = match attack_idx {
+        0 => run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?,
+        1 => {
+            let cfg = PlundervoltConfig {
+                victims_per_step: 300,
+                ..PlundervoltConfig::default()
             };
-            let deployed = deploy(&mut machine, map, deployment.clone())?;
-            let report: AttackReport = match attack_idx {
-                0 => run_rsa_attack(&mut machine, &PlundervoltConfig::default(), 1)?,
-                1 => {
-                    let cfg = PlundervoltConfig {
-                        victims_per_step: 300,
-                        ..PlundervoltConfig::default()
-                    };
-                    run_aes_attack(&mut machine, &cfg, 2)?
-                }
-                2 => run_voltjockey_attack(&mut machine, &VoltJockeyConfig::default(), 3)?,
-                3 => run_v0ltpwn_attack(&mut machine, &V0ltpwnConfig::default())?.report,
-                4 => {
-                    let cfg = ClkscrewConfig {
-                        benign_offset_mv: -170,
-                        ..ClkscrewConfig::default()
-                    };
-                    run_clkscrew_attack(&mut machine, &cfg)?
-                }
-                _ => run_cache_plane_attack(&mut machine, &CachePlaneConfig::default())?,
+            run_aes_attack(&mut machine, &cfg, 2)?
+        }
+        2 => run_voltjockey_attack(&mut machine, &VoltJockeyConfig::default(), 3)?,
+        3 => run_v0ltpwn_attack(&mut machine, &V0ltpwnConfig::default())?.report,
+        4 => {
+            let cfg = ClkscrewConfig {
+                benign_offset_mv: -170,
+                ..ClkscrewConfig::default()
             };
-            let detections = deployed
-                .poll_stats
-                .as_ref()
-                .map_or(0, |s| s.borrow().detections);
-            let benign = benign_dvfs_works(&mut scn.machine(model), map, &deployment)?;
-            if scn.telemetry().is_some() {
-                machine.publish_trace_drops();
-            }
-            cells.push(DefenseCell {
-                deployment: deployment.label().to_owned(),
-                attack: report.attack.clone(),
-                success: report.success,
-                faulty_events: report.faulty_events,
-                detections,
-                benign_dvfs_preserved: benign,
+            run_clkscrew_attack(&mut machine, &cfg)?
+        }
+        _ => run_cache_plane_attack(&mut machine, &CachePlaneConfig::default())?,
+    };
+    let detections = deployed
+        .poll_stats
+        .as_ref()
+        .map_or(0, |s| s.borrow().detections);
+    let benign = benign_dvfs_works(&mut scn.machine(model), map, &deployment)?;
+    if scn.telemetry().is_some() {
+        machine.publish_trace_drops();
+    }
+    Ok(DefenseCell {
+        deployment: deployment.label().to_owned(),
+        attack: report.attack.clone(),
+        success: report.success,
+        faulty_events: report.faulty_events,
+        detections,
+        benign_dvfs_preserved: benign,
+    })
+}
+
+/// Runs `cell_count` independent experiment cells, sequentially or over
+/// a worker pool, merging results in cell-index order.
+///
+/// Every cell boots its own machines from seeds derived off the
+/// scenario's root seed and the cell's labels, so the merged vector is
+/// byte-identical for any worker count — the same claim-counter/slot
+/// engine as `characterize_sharded`. Parallel workers each construct a
+/// sink-free `Scenario` from the root seed (the telemetry sink is
+/// `Rc`-based and single-threaded, so a sink on `scn` forces the
+/// sequential path; cells still see identical seed streams either way).
+fn run_cells<T, F>(
+    scn: &Scenario,
+    workers: usize,
+    cell_count: usize,
+    cell: F,
+) -> Result<Vec<T>, MachineError>
+where
+    T: Send,
+    F: Fn(&Scenario, usize) -> Result<T, MachineError> + Sync,
+{
+    let workers = workers.clamp(1, cell_count.max(1));
+    if workers == 1 || scn.telemetry().is_some() {
+        return (0..cell_count).map(|i| cell(scn, i)).collect();
+    }
+
+    let root_seed = scn.root_seed();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<T, MachineError>>>> = (0..cell_count)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let _worker = scope.spawn(|| {
+                let local = Scenario::with_seed(root_seed);
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cell_count {
+                        break;
+                    }
+                    let result = cell(&local, i);
+                    *slots[i].lock().expect("cell slot poisoned") = Some(result);
+                }
             });
         }
-    }
-    Ok(cells)
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("cell slot poisoned")
+                .expect("every cell index was claimed by a worker")
+        })
+        .collect()
 }
 
 /// Checks that a benign −40 mV power-saving undervolt still lands and
@@ -264,92 +346,106 @@ pub struct LevelRow {
 /// `deploy/<label>` gauge (ns) and aggregated into the
 /// `deploy/exposure_window_us` histogram.
 ///
+/// Rows run over `workers` threads with a worker-count-independent
+/// merge (see [`defense_matrix`]); a telemetry sink forces the
+/// sequential path.
+///
 /// # Errors
 ///
-/// Propagates machine errors.
+/// Propagates machine errors (first failing row in deployment order).
 pub fn deployment_levels(
     scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
+    workers: usize,
 ) -> Result<Vec<LevelRow>, MachineError> {
-    let mut rows = Vec::new();
-    for deployment in all_deployments() {
-        let mut machine = scn.machine(model);
-        let _deployed = deploy(&mut machine, map, deployment.clone())?;
-        // Pin fast so −250 mV is deeply unsafe.
-        let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
-        let fast = machine.cpu().spec().freq_table.max();
-        cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
-        machine.advance(SimDuration::from_millis(1));
-        let nominal = machine.cpu().spec().nominal_voltage_mv(fast);
+    let deployments = all_deployments();
+    let count = deployments.len();
+    run_cells(scn, workers, count, |scn, i| {
+        level_row(scn, model, map, &deployments[i])
+    })
+}
 
-        let _ = nominal;
-        let dev = MsrDev::open(&machine, CoreId(0))?;
-        let attack = OcRequest::write_offset(-250, Plane::Core).encode();
-        let written_at = machine.now();
-        let _ = dev.write(&mut machine, Msr::OC_MAILBOX, attack)?;
+/// One row of the deployment-levels ablation: deploy, attack write,
+/// watch the rail and a victim for 5 ms.
+fn level_row(
+    scn: &Scenario,
+    model: CpuModel,
+    map: &CharacterizationMap,
+    deployment: &Deployment,
+) -> Result<LevelRow, MachineError> {
+    let mut machine = scn.machine(model);
+    let _deployed = deploy(&mut machine, map, deployment.clone())?;
+    // Pin fast so −250 mV is deeply unsafe.
+    let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
+    let fast = machine.cpu().spec().freq_table.max();
+    cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
+    machine.advance(SimDuration::from_millis(1));
+    let nominal = machine.cpu().spec().nominal_voltage_mv(fast);
 
-        let mut neutralized: Option<SimTime> = None;
-        let mut max_effective = 0.0f64;
-        let mut ever_unsafe = false;
-        let mut victim_faults = 0u64;
-        let mut reset_happened = false;
-        let sample = SimDuration::from_micros(10);
-        let mut exposure = SimDuration::ZERO;
-        for _ in 0..500 {
-            machine.advance(sample);
-            let f_now = machine.cpu().core_freq(CoreId(0))?;
-            let nominal_now = machine.cpu().spec().nominal_voltage_mv(f_now);
-            let effective = nominal_now - machine.cpu().core_voltage_mv(machine.now());
-            max_effective = max_effective.max(effective);
-            if effective > 2.0
-                && map.classify(f_now, -(effective.ceil() as i32)) != StateClass::Safe
-            {
-                ever_unsafe = true;
-                exposure += sample;
-            }
-            // A reboot clearing the offset is not countermeasure action;
-            // only count neutralization before any crash.
-            if neutralized.is_none()
-                && !reset_happened
-                && map.classify(f_now, machine.cpu().core_offset_mv()) == StateClass::Safe
-            {
-                neutralized = Some(machine.now());
-            }
-            let now = machine.now();
-            match machine.cpu_mut().run_imul_loop(now, CoreId(0), 20_000) {
-                Ok(f) => victim_faults += f,
-                Err(_) => {
-                    reset_happened = true;
-                    let now = machine.now();
-                    machine.cpu_mut().reset(now);
-                    cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
-                    victim_faults += 20_000; // a crash is at least as bad
-                }
+    let _ = nominal;
+    let dev = MsrDev::open(&machine, CoreId(0))?;
+    let attack = OcRequest::write_offset(-250, Plane::Core).encode();
+    let written_at = machine.now();
+    let _ = dev.write(&mut machine, Msr::OC_MAILBOX, attack)?;
+
+    let mut neutralized: Option<SimTime> = None;
+    let mut max_effective = 0.0f64;
+    let mut ever_unsafe = false;
+    let mut victim_faults = 0u64;
+    let mut reset_happened = false;
+    let sample = SimDuration::from_micros(10);
+    let mut exposure = SimDuration::ZERO;
+    for _ in 0..500 {
+        machine.advance(sample);
+        let f_now = machine.cpu().core_freq(CoreId(0))?;
+        let nominal_now = machine.cpu().spec().nominal_voltage_mv(f_now);
+        let effective = nominal_now - machine.cpu().core_voltage_mv(machine.now());
+        max_effective = max_effective.max(effective);
+        if effective > 2.0 && map.classify(f_now, -(effective.ceil() as i32)) != StateClass::Safe {
+            ever_unsafe = true;
+            exposure += sample;
+        }
+        // A reboot clearing the offset is not countermeasure action;
+        // only count neutralization before any crash.
+        if neutralized.is_none()
+            && !reset_happened
+            && map.classify(f_now, machine.cpu().core_offset_mv()) == StateClass::Safe
+        {
+            neutralized = Some(machine.now());
+        }
+        let now = machine.now();
+        match machine.cpu_mut().run_imul_loop(now, CoreId(0), 20_000) {
+            Ok(f) => victim_faults += f,
+            Err(_) => {
+                reset_happened = true;
+                let now = machine.now();
+                machine.cpu_mut().reset(now);
+                cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
+                victim_faults += 20_000; // a crash is at least as bad
             }
         }
-        if let Some(sink) = scn.telemetry() {
-            let label = deployment.label();
-            sink.set_gauge(
-                MetricKey::global(&format!("deploy/{label}"), "exposure_ns"),
-                exposure.as_picos() as f64 / 1e3,
-            );
-            sink.observe(
-                MetricKey::global("deploy", "exposure_window_us"),
-                HistogramSpec::EXPOSURE_WINDOW_US,
-                exposure.as_picos() as f64 / 1e6,
-            );
-            machine.publish_trace_drops();
-        }
-        rows.push(LevelRow {
-            deployment: deployment.label().to_owned(),
-            neutralize_latency: neutralized.map(|t| t.saturating_duration_since(written_at)),
-            max_effective_undervolt_mv: max_effective.max(0.0),
-            ever_unsafe,
-            victim_faults,
-        });
     }
-    Ok(rows)
+    if let Some(sink) = scn.telemetry() {
+        let label = deployment.label();
+        sink.set_gauge(
+            MetricKey::global(format!("deploy/{label}"), "exposure_ns"),
+            exposure.as_picos() as f64 / 1e3,
+        );
+        sink.observe(
+            MetricKey::global("deploy", "exposure_window_us"),
+            HistogramSpec::EXPOSURE_WINDOW_US,
+            exposure.as_picos() as f64 / 1e6,
+        );
+        machine.publish_trace_drops();
+    }
+    Ok(LevelRow {
+        deployment: deployment.label().to_owned(),
+        neutralize_latency: neutralized.map(|t| t.saturating_duration_since(written_at)),
+        max_effective_undervolt_mv: max_effective.max(0.0),
+        ever_unsafe,
+        victim_faults,
+    })
 }
 
 /// One row of the polling-interval ablation.
@@ -367,77 +463,92 @@ pub struct IntervalRow {
     pub rail_moved: bool,
 }
 
+/// The polling periods swept by [`interval_sweep`], in microseconds.
+pub const SWEEP_PERIODS_US: [u64; 9] = [10, 25, 50, 100, 200, 400, 800, 1_600, 3_200];
+
 /// Sweeps the polling period: overhead vs turnaround (our ablation of
 /// the paper's design choice of a kernel-module poller).
 ///
 /// A telemetry sink attached to the scenario is shared across the
-/// per-period machines.
+/// per-period machines. Periods run over `workers` threads with a
+/// worker-count-independent merge (see [`defense_matrix`]); a telemetry
+/// sink forces the sequential path.
 ///
 /// # Errors
 ///
-/// Propagates machine errors.
+/// Propagates machine errors (first failing period in sweep order).
 pub fn interval_sweep(
     scn: &Scenario,
     model: CpuModel,
     map: &CharacterizationMap,
+    workers: usize,
 ) -> Result<Vec<IntervalRow>, MachineError> {
-    let mut rows = Vec::new();
-    for period_us in [10u64, 25, 50, 100, 200, 400, 800, 1_600, 3_200] {
-        let period = SimDuration::from_micros(period_us);
-        let mut machine = scn.machine(model);
-        let cfg = PollConfig {
-            period,
-            ..PollConfig::default()
-        };
-        let deployed = deploy(&mut machine, map, Deployment::PollingModule(cfg))?;
-        // Pin fast so a −250 mV write is deeply unsafe at this frequency.
-        let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
-        let fast = machine.cpu().spec().freq_table.max();
-        cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
-        // Overhead: watch 50 ms of idle polling.
-        let stolen_before = machine.stolen_time(CoreId(0));
-        machine.advance(SimDuration::from_millis(50));
-        let stolen = machine.stolen_time(CoreId(0)).saturating_sub(stolen_before);
-        let overhead_pct =
-            stolen.as_picos() as f64 / SimDuration::from_millis(50).as_picos() as f64 * 100.0;
+    run_cells(scn, workers, SWEEP_PERIODS_US.len(), |scn, i| {
+        interval_row(scn, model, map, SWEEP_PERIODS_US[i])
+    })
+}
 
-        // Turnaround: deep write, watch 20 ms.
-        let nominal = machine
-            .cpu()
-            .spec()
-            .nominal_voltage_mv(machine.cpu().core_freq(CoreId(0))?);
-        let dev = MsrDev::open(&machine, CoreId(0))?;
-        let written_at = machine.now();
-        let _ = dev.write(
-            &mut machine,
-            Msr::OC_MAILBOX,
-            OcRequest::write_offset(-250, Plane::Core).encode(),
-        )?;
-        let mut max_effective_undervolt = 0.0f64;
-        for _ in 0..2_000 {
-            machine.advance(SimDuration::from_micros(10));
-            let f_now = machine.cpu().core_freq(CoreId(0))?;
-            let nominal_now = machine.cpu().spec().nominal_voltage_mv(f_now);
-            let v = machine.cpu().core_voltage_mv(machine.now());
-            max_effective_undervolt = max_effective_undervolt.max(nominal_now - v);
-        }
-        let _ = nominal;
-        let stats = deployed.poll_stats.expect("polling deployment");
-        let detect_latency = stats
-            .borrow()
-            .last_detection
-            .map(|t| t.saturating_duration_since(written_at));
-        if scn.telemetry().is_some() {
-            machine.publish_trace_drops();
-        }
-        rows.push(IntervalRow {
-            period,
-            overhead_pct,
-            detect_latency,
-            rail_moved: max_effective_undervolt > 5.0,
-        });
+/// One row of the polling-interval ablation: deploy at the period,
+/// measure idle overhead, then turnaround for a deep attack write.
+fn interval_row(
+    scn: &Scenario,
+    model: CpuModel,
+    map: &CharacterizationMap,
+    period_us: u64,
+) -> Result<IntervalRow, MachineError> {
+    let period = SimDuration::from_micros(period_us);
+    let mut machine = scn.machine(model);
+    let cfg = PollConfig {
+        period,
+        ..PollConfig::default()
+    };
+    let deployed = deploy(&mut machine, map, Deployment::PollingModule(cfg))?;
+    // Pin fast so a −250 mV write is deeply unsafe at this frequency.
+    let mut cpupower = plugvolt_kernel::cpupower::CpuPower::new(&machine);
+    let fast = machine.cpu().spec().freq_table.max();
+    cpupower.frequency_set(&mut machine, CoreId(0), fast)?;
+    // Overhead: watch 50 ms of idle polling.
+    let stolen_before = machine.stolen_time(CoreId(0));
+    machine.advance(SimDuration::from_millis(50));
+    let stolen = machine.stolen_time(CoreId(0)).saturating_sub(stolen_before);
+    let overhead_pct =
+        stolen.as_picos() as f64 / SimDuration::from_millis(50).as_picos() as f64 * 100.0;
+
+    // Turnaround: deep write, watch 20 ms.
+    let nominal = machine
+        .cpu()
+        .spec()
+        .nominal_voltage_mv(machine.cpu().core_freq(CoreId(0))?);
+    let dev = MsrDev::open(&machine, CoreId(0))?;
+    let written_at = machine.now();
+    let _ = dev.write(
+        &mut machine,
+        Msr::OC_MAILBOX,
+        OcRequest::write_offset(-250, Plane::Core).encode(),
+    )?;
+    let mut max_effective_undervolt = 0.0f64;
+    for _ in 0..2_000 {
+        machine.advance(SimDuration::from_micros(10));
+        let f_now = machine.cpu().core_freq(CoreId(0))?;
+        let nominal_now = machine.cpu().spec().nominal_voltage_mv(f_now);
+        let v = machine.cpu().core_voltage_mv(machine.now());
+        max_effective_undervolt = max_effective_undervolt.max(nominal_now - v);
     }
-    Ok(rows)
+    let _ = nominal;
+    let stats = deployed.poll_stats.expect("polling deployment");
+    let detect_latency = stats
+        .borrow()
+        .last_detection
+        .map(|t| t.saturating_duration_since(written_at));
+    if scn.telemetry().is_some() {
+        machine.publish_trace_drops();
+    }
+    Ok(IntervalRow {
+        period,
+        overhead_pct,
+        detect_latency,
+        rail_moved: max_effective_undervolt > 5.0,
+    })
 }
 
 /// Per-unit characterization summary (die-to-die variation study).
@@ -928,7 +1039,7 @@ mod tests {
     #[test]
     fn interval_sweep_tradeoff_holds() {
         let map = quick_map(CpuModel::CometLake);
-        let rows = interval_sweep(&Scenario::new(), CpuModel::CometLake, &map).unwrap();
+        let rows = interval_sweep(&Scenario::new(), CpuModel::CometLake, &map, 2).unwrap();
         assert_eq!(rows.len(), 9);
         // Overhead decreases as the period grows.
         for w in rows.windows(2) {

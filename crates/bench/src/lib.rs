@@ -8,6 +8,8 @@
 //! - [`experiments`] — one runner per table/figure/ablation of the
 //!   paper, shared by the `repro` binary, the integration tests and the
 //!   Criterion benches;
+//! - [`perf`] — the deterministic in-tree perf harness behind
+//!   `plugvolt-cli bench` (writes the pinned-schema `BENCH.json`);
 //! - [`text`] — plain-text table rendering.
 //!
 //! Run `cargo run --release -p plugvolt-bench --bin repro -- all` to
@@ -17,5 +19,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod scenario;
 pub mod text;

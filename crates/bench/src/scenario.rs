@@ -262,6 +262,7 @@ mod tests {
             )
             .expect("deploys");
         machine.advance(plugvolt_des::time::SimDuration::from_millis(1));
+        machine.publish_trace_drops();
         let profile = sink.profile("t");
         assert!(
             profile.counter_total("msr", "rdmsr") > 0,

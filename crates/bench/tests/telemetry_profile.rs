@@ -12,7 +12,9 @@ fn levels_profile() -> plugvolt_telemetry::TelemetryProfile {
     let map = quick_map(model);
     let sink = Sink::new();
     let scn = Scenario::new().with_telemetry(sink.clone());
-    deployment_levels(&scn, model, &map).expect("levels complete");
+    // A worker count > 1 still runs sequentially here: the telemetry
+    // sink forces the serial path (and the profile stays identical).
+    deployment_levels(&scn, model, &map, 4).expect("levels complete");
     sink.profile("levels")
 }
 

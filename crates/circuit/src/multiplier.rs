@@ -110,7 +110,7 @@ impl MultiplierUnit {
     pub fn significant_bits(a: u64, b: u64) -> u32 {
         let wa = 64 - a.leading_zeros();
         let wb = 64 - b.leading_zeros();
-        (wa + wb).clamp(2, 64).max(2)
+        (wa + wb).clamp(2, 64)
     }
 
     /// Gate-level logic depth exercised by this operand pair.
@@ -164,6 +164,18 @@ impl MultiplierUnit {
         MulExecution { value, outcome }
     }
 
+    /// The operand-width mix an EXECUTE-thread loop of pseudo-random
+    /// 64-bit pairs exercises: `(fraction of iterations, a, b)`. Almost
+    /// all random 64-bit pairs are full width, with a thin tail of
+    /// narrower products. Public so precomputed slack tables can cache
+    /// exactly the `(slack, state, fault probability)` triplets that
+    /// [`Self::run_imul_loop`] derives per class.
+    pub const IMUL_LOOP_CLASSES: [(f64, u64, u64); 3] = [
+        (0.90, u64::MAX, u64::MAX),      // full-width products
+        (0.08, u32::MAX as u64, 0xFFFF), // 48-bit products
+        (0.02, 0xFFFF, 0xFF),            // 24-bit products
+    ];
+
     /// Number of faulted iterations in a tight loop of `iters` full-width
     /// `imul`s — the paper's EXECUTE-thread workload — sampled in O(faults)
     /// time. Returns `Err(())`-like `None` when the core would crash.
@@ -176,17 +188,10 @@ impl MultiplierUnit {
         fm: &FaultModel,
         rng: &mut SimRng,
     ) -> LoopOutcome {
-        // The loop varies operands; model it as a mix of width classes the
-        // way a 64-bit pseudo-random operand stream exercises the tree:
-        // almost all random 64-bit pairs are full width, with a thin tail
-        // of narrower products.
-        const CLASSES: [(f64, u64, u64); 3] = [
-            (0.90, u64::MAX, u64::MAX),      // full-width products
-            (0.08, u32::MAX as u64, 0xFFFF), // 48-bit products
-            (0.02, 0xFFFF, 0xFF),            // 24-bit products
-        ];
+        // The loop varies operands; model it as a mix of width classes
+        // (see [`Self::IMUL_LOOP_CLASSES`]).
         let mut faults = 0u64;
-        for (frac, a, b) in CLASSES {
+        for (frac, a, b) in Self::IMUL_LOOP_CLASSES {
             let n = (iters as f64 * frac).round() as u64;
             let slack = self.slack_ps(a, b, budget, v_mv);
             if fm.classify(slack) == crate::timing::TimingState::Crash {
@@ -239,6 +244,24 @@ mod tests {
         assert_eq!(MultiplierUnit::significant_bits(0xFF, 0xFF), 16);
         assert_eq!(MultiplierUnit::significant_bits(u64::MAX, u64::MAX), 64);
         assert_eq!(MultiplierUnit::significant_bits(u64::MAX, 1), 64);
+    }
+
+    #[test]
+    fn significant_bits_boundary_operands() {
+        // Zero and one have zero/one-bit widths; the lower clamp floors
+        // the sum at 2 (a product always exercises at least one level).
+        assert_eq!(MultiplierUnit::significant_bits(0, 1), 2);
+        assert_eq!(MultiplierUnit::significant_bits(1, 0), 2);
+        assert_eq!(MultiplierUnit::significant_bits(0, u64::MAX), 64);
+        assert_eq!(MultiplierUnit::significant_bits(u64::MAX, 0), 64);
+        assert_eq!(MultiplierUnit::significant_bits(1, u64::MAX), 64);
+        // 64 + 64 significant bits saturates at the upper clamp.
+        assert_eq!(MultiplierUnit::significant_bits(u64::MAX, u64::MAX), 64);
+        // Just under the upper clamp: 32 + 31 = 63.
+        assert_eq!(
+            MultiplierUnit::significant_bits(u32::MAX as u64, (u32::MAX >> 1) as u64),
+            63
+        );
     }
 
     #[test]

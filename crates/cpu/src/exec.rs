@@ -8,13 +8,16 @@
 //! time accounting.
 
 use crate::freq::FreqMhz;
+use crate::slack::{class_index, SlackTable};
 use plugvolt_circuit::delay::{Millivolts, Picoseconds};
-use plugvolt_circuit::fault::FaultModel;
+use plugvolt_circuit::fault::{sample_binomial, FaultModel};
 use plugvolt_circuit::multiplier::MultiplierUnit;
 use plugvolt_circuit::timing::{TimingBudget, TimingState};
 use plugvolt_des::rng::SimRng;
 use plugvolt_des::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// Instruction classes the engine models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -130,6 +133,13 @@ pub struct ExecutionEngine {
     fault_model: FaultModel,
     t_setup_ps: f64,
     t_eps_ps: f64,
+    /// Precomputed slack table for the batch hot path ([`crate::slack`]);
+    /// `None` runs everything analytically.
+    table: Option<Arc<SlackTable>>,
+    /// Batches answered from the table.
+    table_hits: Cell<u64>,
+    /// Batches that missed the table (or ran with none attached).
+    table_fallbacks: Cell<u64>,
 }
 
 impl ExecutionEngine {
@@ -146,7 +156,37 @@ impl ExecutionEngine {
             fault_model,
             t_setup_ps,
             t_eps_ps,
+            table: None,
+            table_hits: Cell::new(0),
+            table_fallbacks: Cell::new(0),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a precomputed slack table.
+    ///
+    /// The table is a pure cache: attached or not, every batch outcome
+    /// and RNG draw is bit-identical (see [`crate::slack`]).
+    pub fn set_slack_table(&mut self, table: Option<Arc<SlackTable>>) {
+        self.table = table;
+    }
+
+    /// The attached slack table, if any.
+    #[must_use]
+    pub fn slack_table(&self) -> Option<&Arc<SlackTable>> {
+        self.table.as_ref()
+    }
+
+    /// How many batches were answered from the slack table so far.
+    #[must_use]
+    pub fn slack_table_hits(&self) -> u64 {
+        self.table_hits.get()
+    }
+
+    /// How many batches fell back to the analytic path (off-grid query
+    /// or no table attached).
+    #[must_use]
+    pub fn slack_table_fallbacks(&self) -> u64 {
+        self.table_fallbacks.get()
     }
 
     /// The timing budget at frequency `f`.
@@ -208,6 +248,25 @@ impl ExecutionEngine {
         v_mv: Millivolts,
         rng: &mut SimRng,
     ) -> BatchOutcome {
+        // Table fast path: same operand-class walk as
+        // `MultiplierUnit::run_imul_loop`, with the per-class slack,
+        // classification and fault probability read from the grid. Both
+        // paths stop at the first crashing class without drawing for it,
+        // so the RNG stream stays identical.
+        if let Some(entry) = self.table.as_ref().and_then(|t| t.entry(f, v_mv)) {
+            self.table_hits.set(self.table_hits.get() + 1);
+            let mut faults = 0u64;
+            for (i, (fraction, _, _)) in MultiplierUnit::IMUL_LOOP_CLASSES.iter().enumerate() {
+                let n = (iters as f64 * fraction).round() as u64;
+                let op = entry.imul_ops[i];
+                if op.state == TimingState::Crash {
+                    return BatchOutcome::Crashed;
+                }
+                faults += sample_binomial(n, op.fault_p, rng);
+            }
+            return BatchOutcome::Retired { faults };
+        }
+        self.table_fallbacks.set(self.table_fallbacks.get() + 1);
         match self
             .mul
             .run_imul_loop(iters, &self.budget(f), v_mv, &self.fault_model, rng)
@@ -230,7 +289,22 @@ impl ExecutionEngine {
         rails: Rails,
         rng: &mut SimRng,
     ) -> BatchOutcome {
-        let slack = self.class_slack_ps(class, f, rails.for_class(class));
+        let v_mv = rails.for_class(class);
+        // Table fast path: the cached entry stores this exact voltage's
+        // slack, classification and fault probability, so the outcome and
+        // the RNG draws match the analytic expressions below bit for bit.
+        if let Some(entry) = self.table.as_ref().and_then(|t| t.entry(f, v_mv)) {
+            self.table_hits.set(self.table_hits.get() + 1);
+            let cached = entry.classes[class_index(class)];
+            if cached.state == TimingState::Crash {
+                return BatchOutcome::Crashed;
+            }
+            return BatchOutcome::Retired {
+                faults: sample_binomial(iters, cached.fault_p, rng),
+            };
+        }
+        self.table_fallbacks.set(self.table_fallbacks.get() + 1);
+        let slack = self.class_slack_ps(class, f, v_mv);
         if self.fault_model.classify(slack) == TimingState::Crash {
             return BatchOutcome::Crashed;
         }

@@ -12,6 +12,7 @@
 //! - [`core`] — per-core P/C-state bookkeeping;
 //! - [`vr`] — the voltage regulator (settle delay + slew);
 //! - [`exec`] — instruction classes and fault-aware batch execution;
+//! - [`slack`] — precomputed per-(f, V) slack tables for the hot path;
 //! - [`microcode`] — sequencer patches (Sec. 5.1 deployment);
 //! - [`package`] — [`package::CpuPackage`], the assembled part.
 //!
@@ -43,6 +44,7 @@ pub mod freq;
 pub mod microcode;
 pub mod model;
 pub mod package;
+pub mod slack;
 pub mod ucode_blob;
 pub mod vr;
 
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use crate::microcode::{MicrocodeUpdate, PatchKind, SequencerHook};
     pub use crate::model::{CpuModel, CpuSpec};
     pub use crate::package::{CpuPackage, PackageError};
+    pub use crate::slack::SlackTable;
     pub use crate::ucode_blob::{cpuid_signature, BlobError, UpdateBlob};
     pub use crate::vr::VoltageRegulator;
 }

@@ -34,7 +34,9 @@ use plugvolt_msr::offset_limit::VoltageOffsetLimit;
 use plugvolt_msr::perf_status::{decode_perf_ctl, PerfStatus};
 use plugvolt_telemetry::{MetricKey, Sink, TelemetryEvent};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by package operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,7 +114,39 @@ pub struct CpuPackage {
     energy: EnergyMeter,
     energy_checkpoint: SimTime,
     telemetry: Sink,
+    /// Slack-table hit/fallback totals already flushed to the sink, so
+    /// repeated publishes only add the delta.
+    slack_stats_flushed: Cell<(u64, u64)>,
+    /// Per-core hot-path counters, batched in `Cell`s and flushed to
+    /// the sink only at publish time (see [`CoreHotCounters`]).
+    hot: Vec<CoreHotCounters>,
 }
+
+/// The per-core counters bumped on the simulator's hottest paths
+/// (every `rdmsr`/`wrmsr` plus the kernel's per-access cost
+/// accounting). Kept in plain `Cell`s so the access path never touches
+/// the allocating registry; [`CpuPackage::publish_hot_counters`]
+/// flushes deltas under the same metric keys the per-access path used,
+/// so published totals are bit-identical either way.
+#[derive(Debug, Default)]
+struct CoreHotCounters {
+    rdmsr: Cell<u64>,
+    wrmsr: Cell<u64>,
+    access_cost_ps: Cell<u64>,
+    stolen_ps: Cell<u64>,
+    /// Snapshot of the four counters at the last flush (same order as
+    /// [`HOT_COUNTER_KEYS`]), so repeated publishes add only deltas.
+    flushed: Cell<[u64; 4]>,
+}
+
+/// `(component, name)` pairs of the batched hot counters, in the order
+/// [`CoreHotCounters::flushed`] snapshots them.
+const HOT_COUNTER_KEYS: [(&str, &str); 4] = [
+    ("msr", "rdmsr"),
+    ("msr", "wrmsr"),
+    ("msr", "access_cost_ps"),
+    ("kernel", "stolen_ps"),
+];
 
 impl fmt::Debug for CpuPackage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -143,12 +177,18 @@ impl CpuPackage {
     /// Powers on a package from an explicit spec.
     #[must_use]
     pub fn from_spec(spec: CpuSpec, seed: u64) -> Self {
-        let engine = ExecutionEngine::new(
+        let mut engine = ExecutionEngine::new(
             spec.multiplier(),
             spec.fault_model(),
             spec.t_setup_ps,
             spec.t_eps_ps,
         );
+        // Base-spec packages get the shared precomputed slack table (a
+        // pure cache — see `crate::slack`). Unit-varied specs have their
+        // own calibration and stay on the analytic path.
+        if crate::slack::tables_enabled() && spec == spec.model.spec() {
+            engine.set_slack_table(Some(crate::slack::shared_table(spec.model)));
+        }
         let cores = (0..spec.cores)
             .map(|i| Core::new(CoreId(i), spec.base_freq))
             .collect();
@@ -174,6 +214,10 @@ impl CpuPackage {
             energy: EnergyMeter::default(),
             energy_checkpoint: SimTime::ZERO,
             telemetry: Sink::new(),
+            slack_stats_flushed: Cell::new((0, 0)),
+            hot: (0..spec.cores)
+                .map(|_| CoreHotCounters::default())
+                .collect(),
             spec,
         };
         pkg.implement_msrs();
@@ -255,6 +299,113 @@ impl CpuPackage {
     /// package, the machine, and every module record into one registry.
     pub fn set_telemetry(&mut self, sink: Sink) {
         self.telemetry = sink;
+        if let Some(table) = self.engine.slack_table() {
+            // The table predates the sink (built at boot), so the event
+            // lands at t=0. `build_ns` is wall-clock telemetry only.
+            self.telemetry.emit(
+                SimTime::ZERO,
+                TelemetryEvent::SlackTableBuilt {
+                    entries: table.len() as u64,
+                    build_ns: table.build_ns(),
+                },
+            );
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a precomputed slack table on
+    /// the execution engine. Boot attaches the shared table
+    /// automatically for base specs; tests detach it to pin the analytic
+    /// path, the bench harness swaps it to time both.
+    pub fn set_slack_table(&mut self, table: Option<Arc<crate::slack::SlackTable>>) {
+        self.engine.set_slack_table(table);
+    }
+
+    /// Flushes the slack-table hit/fallback counters to the telemetry
+    /// sink (`slack-table/hits`, `slack-table/fallbacks`). Idempotent:
+    /// repeated calls add only the delta since the last flush.
+    pub fn publish_slack_table_stats(&self) {
+        let hits = self.engine.slack_table_hits();
+        let fallbacks = self.engine.slack_table_fallbacks();
+        let (flushed_hits, flushed_fallbacks) = self.slack_stats_flushed.get();
+        if hits > flushed_hits {
+            self.telemetry.add(
+                MetricKey::global("slack-table", "hits"),
+                hits - flushed_hits,
+            );
+        }
+        if fallbacks > flushed_fallbacks {
+            self.telemetry.add(
+                MetricKey::global("slack-table", "fallbacks"),
+                fallbacks - flushed_fallbacks,
+            );
+        }
+        self.slack_stats_flushed.set((hits, fallbacks));
+    }
+
+    /// Accounts the modelled cost of one kernel-context MSR access on
+    /// `core` (the kernel's `ModuleCtx` calls this; the time itself is
+    /// charged as stolen time separately).
+    pub fn note_kernel_msr_cost(&self, core: CoreId, cost_ps: u64) {
+        if plugvolt_telemetry::hot_path_enabled() {
+            if let Some(c) = self.hot.get(core.0) {
+                c.access_cost_ps.set(c.access_cost_ps.get() + cost_ps);
+                return;
+            }
+        }
+        // Legacy per-access path (and out-of-range cores): owned-key
+        // registry probe, kept as the bench harness's "before" arm.
+        self.telemetry.add(
+            MetricKey::per_core(
+                String::from("msr"),
+                String::from("access_cost_ps"),
+                core.0 as u32,
+            ),
+            cost_ps,
+        );
+    }
+
+    /// Accounts module-stolen time on `core` (kernel `charge` calls).
+    pub fn note_stolen(&self, core: CoreId, cost_ps: u64) {
+        if plugvolt_telemetry::hot_path_enabled() {
+            if let Some(c) = self.hot.get(core.0) {
+                c.stolen_ps.set(c.stolen_ps.get() + cost_ps);
+                return;
+            }
+        }
+        self.telemetry.add(
+            MetricKey::per_core(
+                String::from("kernel"),
+                String::from("stolen_ps"),
+                core.0 as u32,
+            ),
+            cost_ps,
+        );
+    }
+
+    /// Flushes the batched per-core hot counters (`msr/rdmsr`,
+    /// `msr/wrmsr`, `msr/access_cost_ps`, `kernel/stolen_ps`) to the
+    /// telemetry sink. Idempotent: repeated calls add only the delta
+    /// since the last flush, so totals match the legacy per-access
+    /// instrumentation exactly.
+    pub fn publish_hot_counters(&self) {
+        for (i, c) in self.hot.iter().enumerate() {
+            let cur = [
+                c.rdmsr.get(),
+                c.wrmsr.get(),
+                c.access_cost_ps.get(),
+                c.stolen_ps.get(),
+            ];
+            let prev = c.flushed.get();
+            for (k, &(component, name)) in HOT_COUNTER_KEYS.iter().enumerate() {
+                if cur[k] > prev[k] {
+                    self.telemetry.add(
+                        MetricKey::per_core(component, name, i as u32),
+                        cur[k] - prev[k],
+                    );
+                }
+            }
+            c.flushed.set(cur);
+        }
     }
 
     /// When `plane`'s offset last changed through an accepted mailbox
@@ -556,8 +707,16 @@ impl CpuPackage {
         if core.0 >= self.cores.len() {
             return Err(PackageError::NoSuchCore(core));
         }
-        self.telemetry
-            .incr(MetricKey::per_core("msr", "rdmsr", core.0 as u32));
+        if plugvolt_telemetry::hot_path_enabled() {
+            let c = &self.hot[core.0];
+            c.rdmsr.set(c.rdmsr.get() + 1);
+        } else {
+            self.telemetry.incr(MetricKey::per_core(
+                String::from("msr"),
+                String::from("rdmsr"),
+                core.0 as u32,
+            ));
+        }
         if self.telemetry.msr_events_enabled() {
             self.telemetry.emit(
                 now,
@@ -620,8 +779,16 @@ impl CpuPackage {
         if core.0 >= self.cores.len() {
             return Err(PackageError::NoSuchCore(core));
         }
-        self.telemetry
-            .incr(MetricKey::per_core("msr", "wrmsr", core.0 as u32));
+        if plugvolt_telemetry::hot_path_enabled() {
+            let c = &self.hot[core.0];
+            c.wrmsr.set(c.wrmsr.get() + 1);
+        } else {
+            self.telemetry.incr(MetricKey::per_core(
+                String::from("msr"),
+                String::from("wrmsr"),
+                core.0 as u32,
+            ));
+        }
         if self.telemetry.msr_events_enabled() {
             self.telemetry.emit(
                 now,

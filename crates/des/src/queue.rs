@@ -1,49 +1,74 @@
 //! Pending-event queue.
 //!
-//! A classic calendar for discrete-event simulation: events are closures
-//! over a world type `W`, ordered by firing time with FIFO tie-breaking
-//! (two events scheduled for the same instant fire in scheduling order,
+//! A calendar for discrete-event simulation: events are closures over a
+//! world type `W`, ordered by firing time with FIFO tie-breaking (two
+//! events scheduled for the same instant fire in scheduling order,
 //! which keeps runs deterministic).
+//!
+//! Internally the queue is a **slab plus an index heap**: the boxed
+//! actions live in a slot arena (`Vec<Slot<W>>`, vacant slots chained
+//! on a free list), while the binary heap orders lightweight typed
+//! entries of `(time, sequence, slot)` only. Cancellation is O(1) — it
+//! frees the slot and flips its liveness, leaving the heap entry behind
+//! as a lazy tombstone that `pop_due`/`peek_time` skim past in O(log n)
+//! when it surfaces. The old design boxed the action inside every heap
+//! node and paid an O(n) scan per cancel just to report whether the
+//! event was still pending.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 use std::fmt;
 
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+}
 
 impl EventId {
     /// Raw sequence number (monotonically increasing per queue).
     #[must_use]
     pub const fn as_u64(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
 /// The action an event performs when it fires.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    action: EventFn<W>,
+/// Sentinel for "no next free slot" in the slab free list.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One slab cell: either a live action (stamped with its sequence
+/// number so stale heap entries and stale [`EventId`]s are detectable
+/// after slot reuse) or a link in the vacant-slot free list.
+enum Slot<W> {
+    Vacant { next_free: u32 },
+    Occupied { seq: u64, action: EventFn<W> },
 }
 
-impl<W> PartialEq for Scheduled<W> {
+/// A typed heap entry: ordering data only, no allocation.
+#[derive(Clone, Copy)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then lowest
         // sequence number) event is popped first.
@@ -73,8 +98,10 @@ impl<W> Ord for Scheduled<W> {
 /// assert_eq!(world, [1, 2]);
 /// ```
 pub struct EventQueue<W> {
-    heap: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<EventId>,
+    heap: BinaryHeap<Scheduled>,
+    slots: Vec<Slot<W>>,
+    free_head: u32,
+    live: usize,
     next_seq: u64,
 }
 
@@ -87,8 +114,8 @@ impl<W> Default for EventQueue<W> {
 impl<W> fmt::Debug for EventQueue<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
-            .field("cancelled", &self.cancelled.len())
+            .field("pending", &self.live)
+            .field("tombstones", &(self.heap.len() - self.live))
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -100,7 +127,9 @@ impl<W> EventQueue<W> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            live: 0,
             next_seq: 0,
         }
     }
@@ -113,50 +142,61 @@ impl<W> EventQueue<W> {
     ) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
-            at,
+        let occupied = Slot::Occupied {
             seq,
             action: Box::new(action),
-        });
-        EventId(seq)
+        };
+        let slot = if self.free_head == NO_SLOT {
+            assert!(self.slots.len() < NO_SLOT as usize, "event slab exhausted");
+            self.slots.push(occupied);
+            (self.slots.len() - 1) as u32
+        } else {
+            let slot = self.free_head;
+            match std::mem::replace(&mut self.slots[slot as usize], occupied) {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied { .. } => unreachable!("free list pointed at a live slot"),
+            }
+            slot
+        };
+        self.heap.push(Scheduled { at, seq, slot });
+        self.live += 1;
+        EventId { seq, slot }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired (it will now never
     /// fire); `false` if it already fired, was already cancelled, or the id
-    /// is unknown.
+    /// is unknown. The slot's sequence stamp answers that in O(1): after an
+    /// event fires (or is cancelled) its slot is vacant or reused under a
+    /// newer sequence number, so a stale id never matches.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        // We cannot cheaply know whether the event already fired; record the
-        // tombstone and report whether it was newly inserted while the event
-        // is still pending.
-        let pending = self.heap.iter().any(|s| s.seq == id.0);
-        if pending {
-            self.cancelled.insert(id)
-        } else {
-            false
+        match self.slots.get(id.slot as usize) {
+            Some(Slot::Occupied { seq, .. }) if *seq == id.seq => {
+                self.free_slot(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
     /// Number of live (not cancelled) pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// Whether no live events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Firing time of the next live event, if any.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skim_cancelled();
+        self.skim_tombstones();
         self.heap.peek().map(|s| s.at)
     }
 
@@ -166,22 +206,50 @@ impl<W> EventQueue<W> {
     /// is responsible for advancing its clock to that time before invoking
     /// the action.
     pub fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, EventFn<W>)> {
-        self.skim_cancelled();
+        self.skim_tombstones();
         if self.heap.peek().is_some_and(|s| s.at <= horizon) {
             let s = self.heap.pop().expect("peeked entry vanished");
-            Some((s.at, s.action))
+            let action = self.free_slot(s.slot).expect("live heap entry has action");
+            self.live -= 1;
+            Some((s.at, action))
         } else {
             None
         }
     }
 
-    fn skim_cancelled(&mut self) {
+    /// Whether a heap entry still refers to a live slot (cancelled events
+    /// leave their entry behind; the slot is vacant or reused by then).
+    fn entry_is_live(&self, s: &Scheduled) -> bool {
+        matches!(
+            self.slots.get(s.slot as usize),
+            Some(Slot::Occupied { seq, .. }) if *seq == s.seq
+        )
+    }
+
+    /// Discards dead heap entries until a live one (or nothing) is on top.
+    fn skim_tombstones(&mut self) {
         while let Some(top) = self.heap.peek() {
-            let id = EventId(top.seq);
-            if self.cancelled.remove(&id) {
-                self.heap.pop();
-            } else {
+            if self.entry_is_live(top) {
                 break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Vacates a slot onto the free list, returning its action if any.
+    fn free_slot(&mut self, slot: u32) -> Option<EventFn<W>> {
+        let vacant = Slot::Vacant {
+            next_free: self.free_head,
+        };
+        match std::mem::replace(&mut self.slots[slot as usize], vacant) {
+            Slot::Occupied { action, .. } => {
+                self.free_head = slot;
+                Some(action)
+            }
+            Slot::Vacant { next_free } => {
+                // Put the original vacancy back; nothing was freed.
+                self.slots[slot as usize] = Slot::Vacant { next_free };
+                None
             }
         }
     }
@@ -246,6 +314,28 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_is_false_even_when_slot_is_reused() {
+        // Regression for the slab design: once an event fires, its slot
+        // goes back on the free list and a later event may reuse it. A
+        // stale id for the fired event must still report false and must
+        // not cancel the unrelated event now living in that slot.
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        let first = q.schedule_at(at(1), |w, _| w.push(1));
+        let mut world = Vec::new();
+        let (_, f) = q.pop_due(SimTime::MAX).expect("first event is due");
+        f(&mut world, &mut q);
+        // This reuses the slot the fired event vacated.
+        let second = q.schedule_at(at(2), |w, _| w.push(2));
+        assert!(!q.cancel(first), "cancel after fire must report false");
+        assert_eq!(q.len(), 1, "the reused slot's event must stay live");
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, [1, 2]);
+        assert!(!q.cancel(second), "second event fired too");
+    }
+
+    #[test]
     fn events_can_reschedule() {
         // A self-rearming timer: fires at 0, 10, 20 then stops.
         fn arm(q: &mut EventQueue<Vec<u64>>, t: SimTime) {
@@ -279,6 +369,23 @@ mod tests {
     #[test]
     fn unknown_id_cancel_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId { seq: 42, slot: 0 }));
+    }
+
+    #[test]
+    fn cancelled_slot_is_reused_and_tombstone_is_skimmed() {
+        let mut q: EventQueue<Vec<u64>> = EventQueue::new();
+        let a = q.schedule_at(at(10), |w, _| w.push(10));
+        assert!(q.cancel(a));
+        // Reuses the cancelled event's slot; its heap tombstone remains.
+        q.schedule_at(at(5), |w, _| w.push(5));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(at(5)));
+        let mut world = Vec::new();
+        while let Some((_, f)) = q.pop_due(SimTime::MAX) {
+            f(&mut world, &mut q);
+        }
+        assert_eq!(world, [5]);
+        assert!(q.is_empty());
     }
 }

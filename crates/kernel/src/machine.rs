@@ -159,20 +159,14 @@ impl ModuleCtx<'_> {
     /// Accounts the modelled cost of one kernel-context MSR access in
     /// the telemetry registry (the time itself is charged separately).
     fn note_access_cost(&self, core: CoreId, cost: SimDuration) {
-        self.cpu.telemetry().add(
-            MetricKey::per_core("msr", "access_cost_ps", core.0 as u32),
-            cost.as_picos(),
-        );
+        self.cpu.note_kernel_msr_cost(core, cost.as_picos());
     }
 
     /// Charges pure compute time (comparisons, set lookups) to a core.
     pub fn charge(&mut self, core: CoreId, cost: SimDuration) {
         if let Some(slot) = self.stolen.get_mut(core.0) {
             *slot += cost;
-            self.cpu.telemetry().add(
-                MetricKey::per_core("kernel", "stolen_ps", core.0 as u32),
-                cost.as_picos(),
-            );
+            self.cpu.note_stolen(core, cost.as_picos());
         }
     }
 
@@ -353,13 +347,26 @@ impl Machine {
         self.cpu.set_telemetry(sink);
     }
 
-    /// Folds the trace buffer's silent-drop counter into the telemetry
-    /// registry. Call once per machine, after its run completes.
+    /// Folds the trace buffer's silent-drop counter, the slack-table
+    /// hit/fallback counters, and the batched per-core hot counters
+    /// into the telemetry registry. Call once per machine, after its
+    /// run completes (extra calls only add deltas).
     pub fn publish_trace_drops(&self) {
         let dropped = self.trace.dropped();
         if dropped > 0 {
             self.cpu.telemetry().add_trace_dropped(dropped);
         }
+        self.cpu.publish_slack_table_stats();
+        self.cpu.publish_hot_counters();
+    }
+
+    /// Attaches (or detaches, with `None`) a precomputed slack table on
+    /// the CPU's execution engine (see `plugvolt_cpu::slack`).
+    pub fn set_slack_table(
+        &mut self,
+        table: Option<std::sync::Arc<plugvolt_cpu::slack::SlackTable>>,
+    ) {
+        self.cpu.set_slack_table(table);
     }
 
     /// Deterministic per-machine random stream (for workload jitter).

@@ -186,9 +186,11 @@ impl MsrFile {
     /// [`MsrError::GeneralProtection`] if `msr` is not implemented, or
     /// [`MsrError::WriteFault`] if an interceptor faulted the write.
     pub fn wrmsr(&mut self, msr: Msr, value: u64) -> Result<WriteOutcome, MsrError> {
-        if !self.regs.contains_key(&msr) {
+        // One map traversal: hold the slot across the interceptor chain
+        // (disjoint field borrows) instead of probing again to store.
+        let Some(slot) = self.regs.get_mut(&msr) else {
             return Err(MsrError::GeneralProtection { msr });
-        }
+        };
         let mut value = value;
         for i in &mut self.interceptors {
             match i.on_write(msr, value) {
@@ -198,7 +200,7 @@ impl MsrFile {
                 WriteDisposition::Fault => return Err(MsrError::WriteFault { msr }),
             }
         }
-        self.regs.insert(msr, value);
+        *slot = value;
         Ok(WriteOutcome::Written { stored: value })
     }
 

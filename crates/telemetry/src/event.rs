@@ -97,6 +97,17 @@ pub enum TelemetryEvent {
         /// Offset written back, in millivolts.
         restore_mv: i32,
     },
+    /// A precomputed slack table was attached to the execution engine.
+    ///
+    /// `build_ns` is host wall-clock time for the one-time grid build —
+    /// the only host-dependent field in the event stream; it never feeds
+    /// back into simulation results.
+    SlackTableBuilt {
+        /// Number of `(frequency, voltage)` grid points in the table.
+        entries: u64,
+        /// Wall-clock nanoseconds the one-time build took.
+        build_ns: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -114,6 +125,7 @@ impl TelemetryEvent {
             TelemetryEvent::Crash { .. } => "crash",
             TelemetryEvent::Detection { .. } => "detection",
             TelemetryEvent::Restore { .. } => "restore",
+            TelemetryEvent::SlackTableBuilt { .. } => "slack-table-built",
         }
     }
 }
@@ -160,6 +172,9 @@ impl fmt::Display for TelemetryEvent {
             ),
             TelemetryEvent::Restore { core, restore_mv } => {
                 write!(f, "restore core{core} -> {restore_mv} mV")
+            }
+            TelemetryEvent::SlackTableBuilt { entries, build_ns } => {
+                write!(f, "slack-table-built {entries} entries in {build_ns} ns")
             }
         }
     }

@@ -43,7 +43,9 @@ pub fn events_to_vcd(events: &[TimedEvent]) -> String {
             TelemetryEvent::Restore { .. } => pulse(&mut vcd, e.at, restore),
             TelemetryEvent::Fault { .. } => pulse(&mut vcd, e.at, fault),
             TelemetryEvent::Crash { .. } => pulse(&mut vcd, e.at, crash),
-            TelemetryEvent::MsrRead { .. } | TelemetryEvent::MsrWrite { .. } => {}
+            TelemetryEvent::MsrRead { .. }
+            | TelemetryEvent::MsrWrite { .. }
+            | TelemetryEvent::SlackTableBuilt { .. } => {}
         }
     }
     vcd.render()

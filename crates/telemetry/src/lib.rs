@@ -40,4 +40,6 @@ pub mod registry;
 pub use event::{TelemetryEvent, TimedEvent};
 pub use export::events_to_vcd;
 pub use profile::{TelemetryProfile, SCHEMA_VERSION};
-pub use registry::{HistogramSpec, MetricKey, Registry, Sink};
+pub use registry::{
+    hot_path_enabled, set_hot_path_enabled, HistogramSpec, MetricKey, Registry, Sink,
+};

@@ -93,8 +93,8 @@ pub struct SummaryRow {
 impl SummaryRow {
     fn from_summary(key: &MetricKey, s: &Summary) -> Self {
         SummaryRow {
-            component: key.component.clone(),
-            name: key.name.clone(),
+            component: key.component.to_string(),
+            name: key.name.to_string(),
             core: key.core,
             count: s.count(),
             mean: s.mean(),
@@ -141,8 +141,8 @@ impl TelemetryProfile {
         let counters = registry
             .counters()
             .map(|(k, v)| CounterRow {
-                component: k.component.clone(),
-                name: k.name.clone(),
+                component: k.component.to_string(),
+                name: k.name.to_string(),
                 core: k.core,
                 value: v,
             })
@@ -150,8 +150,8 @@ impl TelemetryProfile {
         let gauges = registry
             .gauges()
             .map(|(k, v)| GaugeRow {
-                component: k.component.clone(),
-                name: k.name.clone(),
+                component: k.component.to_string(),
+                name: k.name.to_string(),
                 core: k.core,
                 value: v,
             })
@@ -159,8 +159,8 @@ impl TelemetryProfile {
         let histograms = registry
             .histograms()
             .map(|(k, h)| HistogramRow {
-                component: k.component.clone(),
-                name: k.name.clone(),
+                component: k.component.to_string(),
+                name: k.name.to_string(),
                 core: k.core,
                 lo: h.bin_range(0).0,
                 hi: h.bin_range(h.bins().len() - 1).1,
@@ -177,7 +177,7 @@ impl TelemetryProfile {
             rows.insert(key.clone(), SummaryRow::from_summary(key, s));
             if key.core.is_some() {
                 rollups
-                    .entry(MetricKey::global(&key.component, &key.name))
+                    .entry(MetricKey::global(key.component.clone(), key.name.clone()))
                     .or_insert_with(Summary::new)
                     .merge(s);
             }

@@ -8,12 +8,39 @@
 use crate::event::{TelemetryEvent, TimedEvent};
 use plugvolt_des::stats::{Histogram, Summary};
 use plugvolt_des::time::SimTime;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default bound on the retained event timeline.
 pub const DEFAULT_EVENT_CAPACITY: usize = 8_192;
+
+/// Whether the allocation-free hot-path instrumentation is active.
+///
+/// When `true` (the default), the simulator's hottest recording sites —
+/// the per-access MSR counters and the kernel's cost accounting — batch
+/// into plain `Cell`s owned by the CPU package and flush deltas into
+/// the registry only at publish time. When `false`, those sites fall
+/// back to the original per-access path (an owned-`String` key plus a
+/// registry probe on every access), which is what the in-tree bench
+/// harness times as its "before" configuration. Published totals are
+/// identical either way; only wall-clock cost differs.
+static HOT_PATH_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Selects between the batched (true) and legacy per-access (false)
+/// hot-path instrumentation. See [`hot_path_enabled`].
+pub fn set_hot_path_enabled(on: bool) {
+    HOT_PATH_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether hot recording sites should batch into local cells (see
+/// [`set_hot_path_enabled`]).
+#[must_use]
+pub fn hot_path_enabled() -> bool {
+    HOT_PATH_ENABLED.load(Ordering::Relaxed)
+}
 
 /// Identifies one metric: the emitting component, the metric name, and
 /// an optional logical core (``None`` for package-wide metrics).
@@ -21,12 +48,17 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 8_192;
 /// Ordering is derived, so `BTreeMap<MetricKey, _>` iterates
 /// component-major, then name, then core — the order every exporter
 /// emits.
+///
+/// The string fields are `Cow<'static, str>` so the common case — a
+/// key built from string literals on a recording path — never
+/// allocates; dynamic names (e.g. per-deployment gauges) pay for an
+/// owned `String` only at construction.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricKey {
     /// Emitting component (`"msr"`, `"cpu"`, `"kernel"`, `"poll"`, …).
-    pub component: String,
+    pub component: Cow<'static, str>,
     /// Metric name within the component.
-    pub name: String,
+    pub name: Cow<'static, str>,
     /// Logical core, or `None` for package-wide metrics.
     pub core: Option<u32>,
 }
@@ -34,20 +66,27 @@ pub struct MetricKey {
 impl MetricKey {
     /// A package-wide metric key.
     #[must_use]
-    pub fn global(component: &str, name: &str) -> Self {
+    pub fn global(
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+    ) -> Self {
         MetricKey {
-            component: component.to_string(),
-            name: name.to_string(),
+            component: component.into(),
+            name: name.into(),
             core: None,
         }
     }
 
     /// A per-core metric key.
     #[must_use]
-    pub fn per_core(component: &str, name: &str, core: u32) -> Self {
+    pub fn per_core(
+        component: impl Into<Cow<'static, str>>,
+        name: impl Into<Cow<'static, str>>,
+        core: u32,
+    ) -> Self {
         MetricKey {
-            component: component.to_string(),
-            name: name.to_string(),
+            component: component.into(),
+            name: name.into(),
             core: Some(core),
         }
     }

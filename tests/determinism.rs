@@ -95,6 +95,35 @@ fn machine_histories_replay_exactly() {
 }
 
 #[test]
+fn parallel_matrices_are_worker_count_independent() {
+    // Same invariant as the sharded sweep, for the three experiment
+    // matrices this PR parallelized: every cell's streams derive from
+    // the scenario root seed and the cell's own labels, never from the
+    // worker that claimed it, so the merged output is byte-identical
+    // for any worker count — including counts that do not divide the
+    // cell count evenly (7).
+    use plugvolt_bench::experiments::{defense_matrix, deployment_levels, interval_sweep};
+    let model = CpuModel::CometLake;
+    let scn = Scenario::new();
+    let map = scn.quick_map(model);
+    let matrix = defense_matrix(&scn, model, &map, 1).expect("serial matrix");
+    let levels = deployment_levels(&scn, model, &map, 1).expect("serial levels");
+    let sweep = interval_sweep(&scn, model, &map, 1).expect("serial sweep");
+    for workers in [2, 7] {
+        let m = defense_matrix(&scn, model, &map, workers).expect("parallel matrix");
+        assert_eq!(
+            serde_json::to_string(&matrix).expect("serializes"),
+            serde_json::to_string(&m).expect("serializes"),
+            "defense matrix diverged at {workers} workers"
+        );
+        let l = deployment_levels(&scn, model, &map, workers).expect("parallel levels");
+        assert_eq!(levels, l, "deployment levels diverged at {workers} workers");
+        let s = interval_sweep(&scn, model, &map, workers).expect("parallel sweep");
+        assert_eq!(sweep, s, "interval sweep diverged at {workers} workers");
+    }
+}
+
+#[test]
 fn sharded_sweep_is_worker_count_independent() {
     // The tentpole invariant: every frequency shard boots its own
     // machine from a derived, labelled seed, so the merged records are
