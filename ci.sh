@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
 # Local CI for the Plug Your Volt reproduction. Entirely offline: every
 # dependency is an in-tree path crate (see shims/), so this runs with no
-# registry access.
+# registry access. The GitHub workflow (.github/workflows/ci.yml) runs
+# exactly this script — keep every gate here so CI and a developer's
+# pre-push check can never disagree.
 #
 #   1. formatting          cargo fmt --check
 #   2. static analysis     plugvolt-lint (determinism & MSR-safety gate)
-#   3. hygiene             no build artifacts tracked by git
-#   4. build               cargo build --release (whole workspace)
-#   5. tests               cargo test -q (tier-1 suite + all members)
-#   6. bench gate          plugvolt-cli bench --smoke vs committed BENCH.json
+#   3. lint-wall coverage  every workspace member opts into [workspace.lints]
+#   4. hygiene             no build artifacts tracked by git
+#   5. build               cargo build --release (whole workspace)
+#   6. tests               cargo test -q (tier-1 suite + all members)
+#   7. bench gate          plugvolt-cli bench --smoke vs committed BENCH.json
+#   8. soak gate           plugvolt-cli soak --smoke + corpus replay
+#   9. golden gate         results/ regenerate bit-for-bit vs golden.manifest
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() { printf '\n==> %s\n' "$1"; }
+# Each step prints how long the previous one took, so a CI log doubles
+# as a coarse per-stage timing profile.
+ci_started=$SECONDS
+step_started=$SECONDS
+step() {
+    printf '\n==> %s (previous step: %ds)\n' "$1" "$((SECONDS - step_started))"
+    step_started=$SECONDS
+}
 
 step "cargo fmt --check"
 cargo fmt --all --check
@@ -28,11 +40,12 @@ step "plugvolt-lint crates/telemetry"
 # silently skip it.
 cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --root crates/telemetry --json
 
-step "telemetry crate opts into workspace lints"
-grep -Pzq '\[lints\]\nworkspace = true' crates/telemetry/Cargo.toml || {
-    echo "crates/telemetry/Cargo.toml must contain '[lints] workspace = true'" >&2
-    exit 1
-}
+step "every member opts into workspace lints"
+# Portable replacement for the old GNU-only `grep -Pzq` probe, and it
+# covers the whole workspace instead of one crate: the lint wall
+# ([workspace.lints]: forbid unsafe_code, deny unused_must_use) only
+# applies to members that carry `[lints] workspace = true`.
+cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --check-workspace-lints
 
 step "no build artifacts in git"
 # target/ was purged from the index once; keep it out forever.
@@ -55,4 +68,22 @@ step "plugvolt-cli bench --smoke"
 # the comparison is meaningful on any machine).
 ./target/release/plugvolt-cli bench --smoke --baseline BENCH.json
 
+step "plugvolt-cli soak --smoke"
+# Randomized attack campaigns vs all four deployment levels, judged by
+# the three soak oracles (zero faults under §5 deployments, bounded
+# exposure under polling, none-vs-polling non-interference), after
+# replaying every pinned reproducer in results/fuzz-corpus/. Exits
+# nonzero on any oracle violation or corpus regression; the run's own
+# self-test (deliberately weakened poller) guards against the harness
+# rotting into a rubber stamp.
+./target/release/plugvolt-cli soak --smoke --corpus results/fuzz-corpus \
+    --out target/soak-report.json
+
+step "golden results match"
+# Regenerates every results/ artifact into a temp dir and diffs the
+# SHA-256 manifest; any drift in any pinned number fails the build.
+# Intended drift: scripts/golden.sh update && git add results/
+scripts/golden.sh check
+
 step "all green"
+printf 'total: %ds\n' "$((SECONDS - ci_started))"

@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! plugvolt-lint [--workspace | --root <path>] [--json] [--min-severity <s>]
-//!               [--rule <id>]... [--list-rules]
+//!               [--rule <id>]... [--list-rules] [--check-workspace-lints]
 //! ```
 //!
 //! Exit codes: `0` clean (no error-severity findings), `1` gate failed,
 //! `2` usage or I/O error.
 
 use plugvolt_analysis::{
-    human_report, json_report, registry, scan_workspace, ScanOptions, Severity,
+    check_workspace_lints_opt_in, human_report, json_report, registry, scan_workspace, ScanOptions,
+    Severity,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +21,7 @@ struct Args {
     min_severity: Severity,
     only_rules: Vec<String>,
     list_rules: bool,
+    check_workspace_lints: bool,
 }
 
 fn usage() -> &'static str {
@@ -37,6 +39,9 @@ fn usage() -> &'static str {
      \x20 --min-severity <s> hide findings below this severity in output\n\
      \x20 --rule <id>        run only the named rule (repeatable)\n\
      \x20 --list-rules       print the rule registry and exit\n\
+     \x20 --check-workspace-lints\n\
+     \x20                    verify every workspace member's Cargo.toml\n\
+     \x20                    opts into `[lints] workspace = true`, then exit\n\
      \n\
      Suppress a finding with `// plugvolt-lint: allow(<rule-id>)` on the\n\
      offending line or alone on the line above it.\n"
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         min_severity: Severity::Info,
         only_rules: Vec::new(),
         list_rules: false,
+        check_workspace_lints: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
                 args.only_rules.push(v);
             }
             "--list-rules" => args.list_rules = true,
+            "--check-workspace-lints" => args.check_workspace_lints = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -125,6 +132,28 @@ fn main() -> ExitCode {
             );
         }
         return ExitCode::SUCCESS;
+    }
+    if args.check_workspace_lints {
+        return match check_workspace_lints_opt_in(&args.root) {
+            Ok(violations) if violations.is_empty() => {
+                println!("workspace lints: every member opts in");
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("error: {v}");
+                }
+                eprintln!(
+                    "{} member(s) outside the `[workspace.lints]` wall",
+                    violations.len()
+                );
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let options = ScanOptions {
         only_rules: args.only_rules,

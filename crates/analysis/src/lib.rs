@@ -37,12 +37,14 @@
 //! ```
 
 pub mod findings;
+pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod runner;
 pub mod source;
 
 pub use findings::{Finding, Severity};
+pub use manifest::{check_workspace_lints_opt_in, LintsOptInViolation};
 pub use report::{human_report, json_report};
 pub use rules::{registry, Rule, RuleMeta};
 pub use runner::{scan_str, scan_workspace, ScanOptions, ScanResult};

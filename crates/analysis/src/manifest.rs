@@ -1,0 +1,223 @@
+//! Workspace-manifest checks: every member must opt into the shared
+//! `[workspace.lints]` table.
+//!
+//! The compiler-level lint wall (`unsafe_code = "forbid"`,
+//! `unused_must_use = "deny"`, …) only applies to a crate whose
+//! `Cargo.toml` carries `[lints] workspace = true`. A member that
+//! forgets the stanza silently drops out of the wall — exactly the kind
+//! of drift a grep in `ci.sh` used to catch for *one* crate, with a
+//! GNU-only `grep -Pz` flag on top. This module replaces that with a
+//! portable check over **every** workspace member, resolved from the
+//! root manifest's `members` globs, plus the root package itself.
+//!
+//! The parsing is deliberately minimal (section headers + `key = value`
+//! lines, comments stripped): workspace manifests are machine-written
+//! and flat, and the lint must not pull a TOML dependency into the
+//! hermetic build.
+
+use std::path::{Path, PathBuf};
+
+/// One workspace member that fails the opt-in check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintsOptInViolation {
+    /// Manifest path, relative to the workspace root where possible.
+    pub manifest: String,
+    /// Why the member fails.
+    pub reason: String,
+}
+
+impl std::fmt::Display for LintsOptInViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.manifest, self.reason)
+    }
+}
+
+/// Resolves the workspace member manifests named by the root
+/// `Cargo.toml`'s `members` array (glob patterns of the `dir/*` form
+/// are expanded against the filesystem) plus the root manifest itself
+/// when it also declares a `[package]`.
+///
+/// # Errors
+///
+/// An I/O or parse problem reading the root manifest.
+pub fn workspace_member_manifests(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("{}: {e}", root_manifest.display()))?;
+    let members = members_array(&text)
+        .ok_or_else(|| format!("{}: no [workspace] members array", root_manifest.display()))?;
+    let mut manifests = Vec::new();
+    for pattern in members {
+        if let Some(dir) = pattern.strip_suffix("/*") {
+            let base = root.join(dir);
+            let entries =
+                std::fs::read_dir(&base).map_err(|e| format!("{}: {e}", base.display()))?;
+            let mut found: Vec<PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .map(|p| p.join("Cargo.toml"))
+                .collect();
+            found.sort();
+            manifests.extend(found);
+        } else {
+            manifests.push(root.join(&pattern).join("Cargo.toml"));
+        }
+    }
+    if section(&text, "package").is_some() {
+        manifests.push(root_manifest);
+    }
+    Ok(manifests)
+}
+
+/// Checks that every workspace member's manifest contains a `[lints]`
+/// table with `workspace = true`. Returns one violation per
+/// non-compliant member (empty = the whole workspace is inside the
+/// lint wall).
+///
+/// # Errors
+///
+/// An I/O or parse problem reading the root manifest or a member
+/// manifest.
+pub fn check_workspace_lints_opt_in(root: &Path) -> Result<Vec<LintsOptInViolation>, String> {
+    let mut violations = Vec::new();
+    for manifest in workspace_member_manifests(root)? {
+        let display = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .display()
+            .to_string();
+        let text = std::fs::read_to_string(&manifest).map_err(|e| format!("{display}: {e}"))?;
+        match section(&text, "lints") {
+            None => violations.push(LintsOptInViolation {
+                manifest: display,
+                reason: "missing the `[lints]` table (add `[lints]\\nworkspace = true`)".into(),
+            }),
+            Some(body) if !has_workspace_true(&body) => violations.push(LintsOptInViolation {
+                manifest: display,
+                reason: "`[lints]` table present but `workspace = true` is not".into(),
+            }),
+            Some(_) => {}
+        }
+    }
+    Ok(violations)
+}
+
+/// Extracts the `members = [...]` array from the `[workspace]` section.
+fn members_array(toml: &str) -> Option<Vec<String>> {
+    let body = section(toml, "workspace")?;
+    // The array may span lines; concatenate the section and slice
+    // between the brackets following `members`.
+    let start = body.find("members")?;
+    let rest = &body[start..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    let inner = &rest[open + 1..close];
+    Some(
+        inner
+            .split(',')
+            .map(|s| s.trim().trim_matches('"').to_owned())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+/// Returns the body of `[name]` (up to the next `[section]` header),
+/// with comments stripped. Dotted sub-tables like `[name.foo]` do not
+/// match.
+fn section(toml: &str, name: &str) -> Option<String> {
+    let mut body = String::new();
+    let mut inside = false;
+    let mut found = false;
+    for raw in toml.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            inside = line == format!("[{name}]");
+            found |= inside;
+            continue;
+        }
+        if inside && !line.is_empty() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    found.then_some(body)
+}
+
+/// Whether a `[lints]` section body sets `workspace = true`.
+fn has_workspace_true(body: &str) -> bool {
+    body.lines().any(|l| {
+        let mut parts = l.splitn(2, '=');
+        matches!(
+            (parts.next().map(str::trim), parts.next().map(str::trim),),
+            (Some("workspace"), Some("true"))
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_extraction_ignores_dotted_tables_and_comments() {
+        let toml = "\
+[workspace] # root\nmembers = [\"a/*\"] # glob\n\n[workspace.lints.rust]\nunsafe_code = \"forbid\"\n\n[lints]\nworkspace = true\n";
+        let ws = section(toml, "workspace").expect("workspace section");
+        assert!(ws.contains("members"));
+        assert!(!ws.contains("unsafe_code"), "dotted table leaked in");
+        let lints = section(toml, "lints").expect("lints section");
+        assert!(has_workspace_true(&lints));
+    }
+
+    #[test]
+    fn members_globs_parse() {
+        let toml = "[workspace]\nmembers = [\n    \"crates/*\",\n    \"tools/one\",\n]\n";
+        assert_eq!(
+            members_array(toml).expect("parses"),
+            vec!["crates/*".to_owned(), "tools/one".to_owned()]
+        );
+    }
+
+    #[test]
+    fn missing_lints_table_is_flagged() {
+        let dir = std::env::temp_dir().join(format!("plugvolt-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/good")).expect("mkdir");
+        std::fs::create_dir_all(dir.join("crates/bad")).expect("mkdir");
+        std::fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .expect("write root");
+        std::fs::write(
+            dir.join("crates/good/Cargo.toml"),
+            "[package]\nname = \"good\"\n\n[lints]\nworkspace = true\n",
+        )
+        .expect("write good");
+        std::fs::write(
+            dir.join("crates/bad/Cargo.toml"),
+            "[package]\nname = \"bad\"\n",
+        )
+        .expect("write bad");
+        let violations = check_workspace_lints_opt_in(&dir).expect("checks");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].manifest.contains("bad"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn this_workspace_is_fully_opted_in() {
+        // The real gate: every member of *this* repository must be
+        // inside the lint wall. Walk up from the crate dir to the root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let violations = check_workspace_lints_opt_in(root).expect("checks");
+        assert!(
+            violations.is_empty(),
+            "members missing [lints] workspace = true: {violations:?}"
+        );
+    }
+}

@@ -20,7 +20,9 @@
 //!   (canary instrumentation + traps) the paper compares against;
 //! - [`crypto`] — the from-scratch RSA-CRT and AES-128 victims plus the
 //!   Bellcore/Giraud exploit math;
-//! - [`campaign`] — shared adversary plumbing and reports.
+//! - [`campaign`] — shared adversary plumbing and reports;
+//! - [`schedule`] — randomized campaign schedules (and their shrink
+//!   hooks) for the differential soak fuzzer.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub mod clkscrew;
 pub mod crypto;
 pub mod minefield;
 pub mod plundervolt;
+pub mod schedule;
 pub mod v0ltpwn;
 pub mod voltjockey;
 
@@ -59,6 +62,9 @@ pub mod prelude {
         instrumentation_factor, sign_with_deflection, DeflectedSign, MinefieldConfig,
     };
     pub use crate::plundervolt::{run_aes_attack, run_rsa_attack, PlundervoltConfig};
+    pub use crate::schedule::{
+        AttackFamily, CampaignSchedule, PlaneSel, ScheduleAction, ScheduleEvent, VictimClass,
+    };
     pub use crate::v0ltpwn::{run_v0ltpwn_attack, V0ltpwnConfig, V0ltpwnReport};
     pub use crate::voltjockey::{run_voltjockey_attack, VoltJockeyConfig};
 }

@@ -10,6 +10,9 @@
 //! plugvolt-cli energy       --model comet-lake --map map.json
 //! plugvolt-cli telemetry    --profile profile.json [--vcd out.vcd]
 //! plugvolt-cli bench        [--smoke] [--out BENCH.json] [--baseline BENCH.json]
+//! plugvolt-cli soak         [--smoke] [--seed N] [--campaigns N] [--workers N]
+//!                           [--model M] [--corpus DIR] [--out report.json]
+//!                           [--no-self-test]
 //! ```
 //!
 //! The characterization artifact is plain JSON — the same bytes the
@@ -206,6 +209,99 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
+        "soak" => {
+            let mut cfg = if flag("--smoke") {
+                plugvolt_bench::soak::SoakConfig::smoke()
+            } else {
+                plugvolt_bench::soak::SoakConfig::default()
+            };
+            if let Some(n) = opt("--campaigns") {
+                cfg.campaigns = n.parse::<u32>()?;
+            }
+            if let Some(n) = opt("--workers") {
+                cfg.workers = n.parse::<usize>()?;
+            }
+            if let Some(m) = opt("--model") {
+                cfg.model = parse_model(&m)?;
+            }
+            if flag("--no-self-test") {
+                cfg.self_test = false;
+            }
+            // The banner echoes the seed in hex; accept it back in
+            // either radix so a printed seed is always pasteable.
+            let seed = opt("--seed").map_or(Ok(plugvolt_bench::scenario::SEED), |s| {
+                match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse::<u64>(),
+                }
+            })?;
+            let corpus = opt("--corpus");
+            let scn = Scenario::with_seed(seed);
+            eprintln!(
+                "soaking {} with {} campaigns × 4 deployment levels (seed {seed:#x})…",
+                cfg.model, cfg.campaigns
+            );
+            let report = plugvolt_bench::soak::run_soak(
+                &scn,
+                &cfg,
+                corpus.as_deref().map(std::path::Path::new),
+            )?;
+            let json = report.to_json();
+            match opt("--out") {
+                Some(path) => {
+                    std::fs::write(&path, &json)?;
+                    eprintln!("report written to {path}");
+                }
+                None => print!("{json}"),
+            }
+            eprintln!(
+                "{} corpus case{} replayed, {} violation{}",
+                report.corpus_replayed,
+                if report.corpus_replayed == 1 { "" } else { "s" },
+                report.violations.len(),
+                if report.violations.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+            for v in &report.violations {
+                eprintln!(
+                    "  campaign {} ({}): {} — shrunk {} -> {} events{}",
+                    v.campaign,
+                    v.family,
+                    v.violation,
+                    v.original_events,
+                    v.reproducer.len(),
+                    v.corpus_file
+                        .as_deref()
+                        .map_or(String::new(), |f| format!(" ({f})")),
+                );
+            }
+            for cf in &report.corpus_failures {
+                eprintln!("  corpus {}: {}", cf.file, cf.detail);
+            }
+            if let Some(st) = &report.self_test {
+                if st.caught {
+                    eprintln!(
+                        "self-test: weakened poller (skip every {}th poll) caught, \
+                         reproducer shrunk to {} events in {} evals",
+                        st.skip_every, st.shrunk_events, st.shrink_evals
+                    );
+                } else {
+                    eprintln!(
+                        "self-test: oracle MISSED the weakened poller after {} campaigns",
+                        st.attempts
+                    );
+                }
+            }
+            if report.passed() {
+                eprintln!("RESULT: all oracles held");
+                Ok(())
+            } else {
+                Err("soak oracle violation (see report)".into())
+            }
+        }
         "telemetry" => {
             let path = opt("--profile").ok_or("--profile required")?;
             let profile: TelemetryProfile = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
@@ -227,7 +323,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             eprintln!(
-                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry|bench> [options]\n\
+                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry|bench|soak> [options]\n\
                  see the module docs (`cargo doc`) for the full synopsis\n\
                  \n\
                  lint the workspace sources (determinism & MSR-safety gate):\n\

@@ -257,15 +257,16 @@ fn defense_cell(
 /// sink-free `Scenario` from the root seed (the telemetry sink is
 /// `Rc`-based and single-threaded, so a sink on `scn` forces the
 /// sequential path; cells still see identical seed streams either way).
-fn run_cells<T, F>(
+pub(crate) fn run_cells<T, E, F>(
     scn: &Scenario,
     workers: usize,
     cell_count: usize,
     cell: F,
-) -> Result<Vec<T>, MachineError>
+) -> Result<Vec<T>, E>
 where
     T: Send,
-    F: Fn(&Scenario, usize) -> Result<T, MachineError> + Sync,
+    E: Send,
+    F: Fn(&Scenario, usize) -> Result<T, E> + Sync,
 {
     let workers = workers.clamp(1, cell_count.max(1));
     if workers == 1 || scn.telemetry().is_some() {
@@ -274,7 +275,7 @@ where
 
     let root_seed = scn.root_seed();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Result<T, MachineError>>>> = (0..cell_count)
+    let slots: Vec<std::sync::Mutex<Option<Result<T, E>>>> = (0..cell_count)
         .map(|_| std::sync::Mutex::new(None))
         .collect();
     std::thread::scope(|scope| {

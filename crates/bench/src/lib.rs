@@ -10,6 +10,9 @@
 //!   Criterion benches;
 //! - [`perf`] — the deterministic in-tree perf harness behind
 //!   `plugvolt-cli bench` (writes the pinned-schema `BENCH.json`);
+//! - [`soak`] — the `plugvolt-fuzz` differential soak fuzzer behind
+//!   `plugvolt-cli soak` (randomized campaigns, oracle invariants,
+//!   auto-shrunk reproducer corpus);
 //! - [`text`] — plain-text table rendering.
 //!
 //! Run `cargo run --release -p plugvolt-bench --bin repro -- all` to
@@ -21,4 +24,5 @@
 pub mod experiments;
 pub mod perf;
 pub mod scenario;
+pub mod soak;
 pub mod text;

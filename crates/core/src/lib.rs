@@ -57,6 +57,7 @@
 pub mod characterize;
 pub mod charmap;
 pub mod deploy;
+pub mod exposure;
 pub mod maximal;
 pub mod poll;
 pub mod state;
@@ -74,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::charmap::{CharacterizationMap, FreqBand};
     pub use crate::deploy::{deploy, undeploy, worst_case_turnaround, Deployed, Deployment};
+    pub use crate::exposure::{Episode, ExposureAccountant, ExposureBound};
     pub use crate::maximal::MaximalSafeState;
     pub use crate::poll::{PollConfig, PollStats, PollingModule, RestorePolicy, MODULE_NAME};
     pub use crate::state::{StateClass, SystemState};

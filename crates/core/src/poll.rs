@@ -302,10 +302,20 @@ impl KernelModule for PollingModule {
                     s.last_detection = Some(ctx.now());
                     s.detected_offsets.record(f64::from(state.offset_mv));
                 }
-                // Unsafe-state entry instant: when the adversarial offset
-                // was written. Captured before the restore write below
-                // overwrites the per-plane timestamp.
-                let entry = ctx.cpu().last_offset_write_at(plane);
+                // Unsafe-state entry instant: the *later* of the
+                // adversarial offset write and the core's last P-state
+                // change — a CLKSCREW-style campaign parks a standing
+                // offset and only makes it unsafe by escalating the
+                // clock much later. Captured before the restore write
+                // below overwrites the per-plane timestamp.
+                let entry = match (
+                    ctx.cpu().last_offset_write_at(plane),
+                    ctx.cpu().last_pstate_change_at(core),
+                ) {
+                    (Some(w), Some(p)) => Some(w.max(p)),
+                    (w, None) => w,
+                    (None, p) => p,
+                };
                 let now = ctx.now();
                 let sink = ctx.cpu().telemetry().clone();
                 sink.emit(

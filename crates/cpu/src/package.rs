@@ -99,6 +99,12 @@ pub struct CpuPackage {
     /// mailbox write — the "unsafe-state entry" instant the
     /// countermeasure's detection-latency metric is measured from.
     plane_offset_written_at: [Option<SimTime>; 5],
+    /// When each core's frequency last *changed* through a P-state
+    /// write. Together with [`Self::plane_offset_written_at`] this
+    /// dates the entry into an unsafe V/F state: a CLKSCREW-style
+    /// campaign leaves a standing offset and makes it unsafe much
+    /// later by escalating the clock.
+    core_pstate_changed_at: Vec<Option<SimTime>>,
     /// Plane whose offset the mailbox response register currently holds
     /// (set by the last read/write command, like the real protocol).
     mailbox_read_plane: Plane,
@@ -202,6 +208,7 @@ impl CpuPackage {
             msrs: MsrFile::new(),
             plane_offset_units: [0; 5],
             plane_offset_written_at: [None; 5],
+            core_pstate_changed_at: vec![None; spec.cores],
             ocm_enabled: true,
             microcode_rev: spec.microcode,
             loaded_updates: Vec::new(),
@@ -416,6 +423,13 @@ impl CpuPackage {
         self.plane_offset_written_at[plane.index() as usize]
     }
 
+    /// When `core`'s frequency last changed through a P-state write.
+    /// `None` for an invalid id or a core still at its boot frequency.
+    #[must_use]
+    pub fn last_pstate_change_at(&self, core: CoreId) -> Option<SimTime> {
+        self.core_pstate_changed_at.get(core.0).copied().flatten()
+    }
+
     /// Loads a microcode update from its distributable blob, performing
     /// the loader-side validation (container integrity + CPUID signature
     /// match) a BIOS/OS loader does before touching the sequencer.
@@ -463,6 +477,7 @@ impl CpuPackage {
         self.crashed = false;
         self.plane_offset_units = [0; 5];
         self.plane_offset_written_at = [None; 5];
+        self.core_pstate_changed_at = vec![None; self.spec.cores];
         self.mailbox_read_plane = Plane::Core;
         for core in &mut self.cores {
             core.set_freq(self.spec.base_freq);
@@ -547,10 +562,17 @@ impl CpuPackage {
     ) -> Result<FreqMhz, PackageError> {
         self.ensure_alive()?;
         let quantized = self.spec.freq_table.quantize(freq);
-        self.cores
+        let c = self
+            .cores
             .get_mut(core.0)
-            .ok_or(PackageError::NoSuchCore(core))?
-            .set_freq(quantized);
+            .ok_or(PackageError::NoSuchCore(core))?;
+        if c.freq() != quantized {
+            // Only genuine transitions re-date the unsafe-state entry:
+            // an idempotent P-state write must not shrink measured
+            // detection latency.
+            self.core_pstate_changed_at[core.0] = Some(now);
+        }
+        c.set_freq(quantized);
         self.telemetry.emit(
             now,
             TelemetryEvent::PState {

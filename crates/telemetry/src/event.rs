@@ -97,6 +97,25 @@ pub enum TelemetryEvent {
         /// Offset written back, in millivolts.
         restore_mv: i32,
     },
+    /// A soak-fuzzer campaign began its differential run.
+    SoakCampaign {
+        /// Campaign index within the soak run.
+        campaign: u64,
+        /// Attack-family index (order of `AttackFamily::ALL`).
+        family: u8,
+        /// Schedule events in the campaign.
+        events: u32,
+    },
+    /// A soak oracle finished judging one campaign × deployment cell.
+    SoakOracle {
+        /// Campaign index within the soak run.
+        campaign: u64,
+        /// Oracle index (0 = zero-faults, 1 = exposure bound,
+        /// 2 = stream equivalence).
+        oracle: u8,
+        /// Whether the invariant held.
+        ok: bool,
+    },
     /// A precomputed slack table was attached to the execution engine.
     ///
     /// `build_ns` is host wall-clock time for the one-time grid build —
@@ -125,6 +144,8 @@ impl TelemetryEvent {
             TelemetryEvent::Crash { .. } => "crash",
             TelemetryEvent::Detection { .. } => "detection",
             TelemetryEvent::Restore { .. } => "restore",
+            TelemetryEvent::SoakCampaign { .. } => "soak-campaign",
+            TelemetryEvent::SoakOracle { .. } => "soak-oracle",
             TelemetryEvent::SlackTableBuilt { .. } => "slack-table-built",
         }
     }
@@ -173,6 +194,23 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::Restore { core, restore_mv } => {
                 write!(f, "restore core{core} -> {restore_mv} mV")
             }
+            TelemetryEvent::SoakCampaign {
+                campaign,
+                family,
+                events,
+            } => write!(
+                f,
+                "soak-campaign #{campaign} family{family} {events} events"
+            ),
+            TelemetryEvent::SoakOracle {
+                campaign,
+                oracle,
+                ok,
+            } => write!(
+                f,
+                "soak-oracle #{campaign} oracle{oracle} {}",
+                if *ok { "held" } else { "VIOLATED" }
+            ),
             TelemetryEvent::SlackTableBuilt { entries, build_ns } => {
                 write!(f, "slack-table-built {entries} entries in {build_ns} ns")
             }

@@ -22,6 +22,7 @@ pub fn events_to_vcd(events: &[TimedEvent]) -> String {
     let restore = vcd.declare("restore", SignalKind::Wire);
     let fault = vcd.declare("fault", SignalKind::Wire);
     let crash = vcd.declare("crash", SignalKind::Wire);
+    let oracle_violation = vcd.declare("oracle_violation", SignalKind::Wire);
 
     let pulse = |vcd: &mut VcdRecorder, at, id| {
         vcd.record(at, id, Value::Bits(1));
@@ -43,8 +44,13 @@ pub fn events_to_vcd(events: &[TimedEvent]) -> String {
             TelemetryEvent::Restore { .. } => pulse(&mut vcd, e.at, restore),
             TelemetryEvent::Fault { .. } => pulse(&mut vcd, e.at, fault),
             TelemetryEvent::Crash { .. } => pulse(&mut vcd, e.at, crash),
+            TelemetryEvent::SoakOracle { ok: false, .. } => {
+                pulse(&mut vcd, e.at, oracle_violation);
+            }
             TelemetryEvent::MsrRead { .. }
             | TelemetryEvent::MsrWrite { .. }
+            | TelemetryEvent::SoakCampaign { .. }
+            | TelemetryEvent::SoakOracle { ok: true, .. }
             | TelemetryEvent::SlackTableBuilt { .. } => {}
         }
     }

@@ -124,6 +124,34 @@ fn parallel_matrices_are_worker_count_independent() {
 }
 
 #[test]
+fn soak_report_is_byte_deterministic_across_worker_counts() {
+    // The soak fuzzer pins the same invariant end to end: schedules
+    // are generated from labelled streams on the caller thread, every
+    // oracle evaluation boots from one fixed machine label, and the
+    // report never mentions the worker count — so the rendered JSON is
+    // byte-identical at any parallelism, including a worker count that
+    // does not divide the campaign count.
+    use plugvolt_bench::soak::{run_soak, SoakConfig};
+    let scn = Scenario::new();
+    let cfg = |workers| SoakConfig {
+        model: CpuModel::CometLake,
+        campaigns: 7,
+        workers,
+        self_test: true,
+        weaken_skip_every: 2,
+        shrink_budget: 200,
+    };
+    let a = run_soak(&scn, &cfg(1), None).expect("sequential soak");
+    let b = run_soak(&scn, &cfg(3), None).expect("parallel soak");
+    assert!(a.passed(), "seed campaigns must hold the oracles");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "soak report diverged between 1 and 3 workers"
+    );
+}
+
+#[test]
 fn sharded_sweep_is_worker_count_independent() {
     // The tentpole invariant: every frequency shard boots its own
     // machine from a derived, labelled seed, so the merged records are
