@@ -6,7 +6,7 @@
 # pre-push check can never disagree.
 #
 #   1. formatting          cargo fmt --check
-#   2. static analysis     plugvolt-lint (determinism & MSR-safety gate)
+#   2. static analysis     plugvolt-lint SARIF + baseline ratchet gate
 #   3. lint-wall coverage  every workspace member opts into [workspace.lints]
 #   4. hygiene             no build artifacts tracked by git
 #   5. build               cargo build --release (whole workspace)
@@ -29,10 +29,18 @@ step() {
 step "cargo fmt --check"
 cargo fmt --all --check
 
-step "plugvolt-lint --workspace"
-# JSON report for tooling; exit status is the gate (nonzero on any
-# error-severity finding). Suppressions: // plugvolt-lint: allow(<rule>)
-cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --workspace --json
+step "plugvolt-lint --workspace (SARIF + baseline ratchet)"
+# Whole-workspace scan: symbol index, call graph, and the cross-file
+# rules, reported as SARIF 2.1.0 and gated by the committed baseline.
+# The exit status is the gate: a new error-severity finding fails, and
+# so does a stale baseline entry whose finding has been fixed — the
+# ratchet only shrinks. The SARIF log lands in target/plugvolt-lint.sarif
+# and is uploaded as a CI artifact; the baseline gates the exit code but
+# never censors the report. Suppressions: // plugvolt-lint: allow(<rule>)
+mkdir -p target
+cargo run -q -p plugvolt-analysis --bin plugvolt-lint -- --workspace \
+    --format sarif --baseline results/lint-baseline.json \
+    > target/plugvolt-lint.sarif
 
 step "plugvolt-lint crates/telemetry"
 # The telemetry crate instruments every hot path; hold it to the same

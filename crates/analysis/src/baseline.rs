@@ -1,0 +1,406 @@
+//! The committed findings baseline: a one-way ratchet.
+//!
+//! `results/lint-baseline.json` lists the error-severity findings the
+//! tree currently accepts (each with a justification for existing).
+//! The gate fails on any error finding *not* in the baseline (no new
+//! debt) and on any baseline entry that no longer matches a finding
+//! (stale entries must be deleted, so the file can only shrink).
+//! Entries match findings by `(rule, path, snippet)` — line numbers
+//! drift with unrelated edits; the offending source line does not.
+//!
+//! The reader is a small hand-rolled JSON parser: the analysis crate is
+//! dependency-free by design (it gates the crates the serde shim lives
+//! in), and the writer below pins the exact shape it reads back.
+
+use crate::findings::{Finding, Severity};
+
+/// Schema version stamped into baseline files.
+pub const BASELINE_SCHEMA_VERSION: u32 = 1;
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed offending source line.
+    pub snippet: String,
+    /// Why this finding is accepted (free text, required on write).
+    pub justification: String,
+}
+
+/// The result of matching findings against a baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineDiff {
+    /// Error findings not covered by the baseline: gate failures.
+    pub new: Vec<Finding>,
+    /// Baseline entries matching no current finding: stale, must be
+    /// deleted (the ratchet only shrinks).
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl BaselineDiff {
+    /// Whether the ratchet gate passes.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Matches `findings` (errors only — warnings are bounded elsewhere)
+/// against `entries`, multiset-style: two identical offending lines
+/// need two entries.
+#[must_use]
+pub fn diff(findings: &[Finding], entries: &[BaselineEntry]) -> BaselineDiff {
+    let mut remaining: Vec<(&BaselineEntry, bool)> = entries.iter().map(|e| (e, false)).collect();
+    let mut new = Vec::new();
+    for f in findings {
+        if f.severity != Severity::Error {
+            continue;
+        }
+        let snippet = f.snippet.trim();
+        let slot = remaining.iter_mut().find(|(e, used)| {
+            !used && e.rule == f.rule && e.path == f.path && e.snippet.trim() == snippet
+        });
+        match slot {
+            Some((_, used)) => *used = true,
+            None => new.push(f.clone()),
+        }
+    }
+    let stale = remaining
+        .into_iter()
+        .filter_map(|(e, used)| (!used).then(|| e.clone()))
+        .collect();
+    BaselineDiff { new, stale }
+}
+
+/// Renders a baseline file covering the error findings in `findings`,
+/// with a placeholder justification to be edited before committing.
+#[must_use]
+pub fn write_baseline(findings: &[Finding]) -> String {
+    let mut entries: Vec<BaselineEntry> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| BaselineEntry {
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            snippet: f.snippet.trim().to_string(),
+            justification: "TODO: justify or fix".to_string(),
+        })
+        .collect();
+    entries.sort();
+    render(&entries)
+}
+
+/// Renders `entries` in the pinned baseline shape.
+#[must_use]
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {BASELINE_SCHEMA_VERSION},\n"
+    ));
+    out.push_str("  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"snippet\": {}, \"justification\": {}}}",
+            crate::report::json_str(&e.rule),
+            crate::report::json_str(&e.path),
+            crate::report::json_str(&e.snippet),
+            crate::report::json_str(&e.justification),
+        ));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses a baseline file.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or shape problem.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let value = Json::parse(text)?;
+    let Json::Object(top) = value else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let entries_val = top
+        .iter()
+        .find(|(k, _)| k == "entries")
+        .map(|(_, v)| v)
+        .ok_or("baseline missing \"entries\"")?;
+    let Json::Array(items) = entries_val else {
+        return Err("\"entries\" must be an array".to_string());
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Json::Object(fields) = item else {
+            return Err(format!("entry {i} must be an object"));
+        };
+        let get = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(Json::String(s)) => Ok(s.clone()),
+                _ => Err(format!("entry {i} missing string field \"{key}\"")),
+            }
+        };
+        entries.push(BaselineEntry {
+            rule: get("rule")?,
+            path: get("path")?,
+            snippet: get("snippet")?,
+            justification: get("justification").unwrap_or_default(),
+        });
+    }
+    Ok(entries)
+}
+
+/// A minimal JSON value — just enough to read the pinned baseline
+/// shape back. Scalars the baseline reader never inspects (numbers,
+/// booleans, null) are recognized but not stored.
+enum Json {
+    Null,
+    Bool,
+    Number,
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0;
+        let value = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("trailing data at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{c}' at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let Json::String(key) = parse_value(chars, pos)? else {
+                    return Err(format!(
+                        "object key must be a string at offset {pos}",
+                        pos = *pos
+                    ));
+                };
+                expect(chars, pos, ':')?;
+                fields.push((key, parse_value(chars, pos)?));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(*pos) {
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::String(s));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match chars.get(*pos) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('u') => {
+                                let hex: String = chars
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        *pos += 1;
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while chars
+                .get(*pos)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(|_| Json::Number)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool)
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool)
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        _ => Err(format!("unexpected character at offset {pos}", pos = *pos)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line: 1,
+            column: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entries = vec![BaselineEntry {
+            rule: "hot-path-transcendentals".to_string(),
+            path: "crates/des/src/rng.rs".to_string(),
+            snippet: "let g = (-2.0 * u.ln()).sqrt();".to_string(),
+            justification: "analytic fallback, gated off on hot paths".to_string(),
+        }];
+        let text = render(&entries);
+        assert_eq!(parse(&text).expect("round trip"), entries);
+        assert_eq!(parse(&render(&[])).expect("empty"), Vec::new());
+    }
+
+    fn entry(rule: &str, path: &str, snippet: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            snippet: snippet.to_string(),
+            justification: String::new(),
+        }
+    }
+
+    #[test]
+    fn diff_classifies_new_matched_and_stale() {
+        let entries = vec![
+            entry("r1", "a.rs", "x.ln()"),
+            entry("r1", "gone.rs", "y.exp()"),
+        ];
+        let findings = vec![
+            finding("r1", "a.rs", "x.ln()"),
+            finding("r2", "b.rs", "fresh()"),
+        ];
+        let d = diff(&findings, &entries);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].rule, "r2");
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].path, "gone.rs");
+        assert!(!d.passes());
+        assert!(diff(&findings[..1], &entries[..1]).passes());
+    }
+
+    #[test]
+    fn duplicate_snippets_need_duplicate_entries() {
+        let findings = vec![
+            finding("r1", "a.rs", "x.ln()"),
+            finding("r1", "a.rs", "x.ln()"),
+        ];
+        let one = parse(&write_baseline(&findings[..1])).expect("valid");
+        assert_eq!(diff(&findings, &one).new.len(), 1, "second hit is new");
+        let both = parse(&write_baseline(&findings)).expect("valid");
+        assert!(diff(&findings, &both).passes());
+    }
+
+    #[test]
+    fn warnings_do_not_enter_the_ratchet() {
+        let mut f = finding("r1", "a.rs", "x");
+        f.severity = Severity::Warning;
+        let d = diff(&[f.clone()], &[]);
+        assert!(d.passes(), "warnings are bounded elsewhere");
+        assert!(write_baseline(&[f]).contains("\"entries\": []"));
+    }
+}

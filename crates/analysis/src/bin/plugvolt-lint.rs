@@ -1,41 +1,59 @@
 //! `plugvolt-lint` — determinism & MSR-safety gate for the workspace.
 //!
 //! ```text
-//! plugvolt-lint [--workspace | --root <path>] [--json] [--min-severity <s>]
-//!               [--rule <id>]... [--list-rules] [--check-workspace-lints]
+//! plugvolt-lint [--workspace | --root <path>] [--format human|json|sarif]
+//!               [--baseline <path>] [--write-baseline <path>]
+//!               [--min-severity <s>] [--rule <id>]... [--list-rules]
+//!               [--check-workspace-lints]
 //! ```
 //!
-//! Exit codes: `0` clean (no error-severity findings), `1` gate failed,
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (no error-severity findings outside the
+//! baseline), `1` gate failed, `2` usage or I/O error.
 
 use plugvolt_analysis::{
-    check_workspace_lints_opt_in, human_report, json_report, registry, scan_workspace, ScanOptions,
-    Severity,
+    all_rule_metas, baseline, check_workspace_lints_opt_in, human_report, json_report,
+    sarif_report, scan_workspace, ScanOptions, Severity,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
-    json: bool,
+    format: Format,
     min_severity: Severity,
     only_rules: Vec<String>,
     list_rules: bool,
     check_workspace_lints: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "plugvolt-lint: determinism & MSR-safety static analysis\n\
      \n\
      USAGE:\n\
-     \x20 plugvolt-lint [--workspace] [--root <path>] [--json]\n\
+     \x20 plugvolt-lint [--workspace] [--root <path>] [--format human|json|sarif]\n\
+     \x20               [--baseline <path>] [--write-baseline <path>]\n\
      \x20               [--min-severity info|warning|error] [--rule <id>]...\n\
      \x20               [--list-rules]\n\
      \n\
      OPTIONS:\n\
      \x20 --workspace        scan the enclosing cargo workspace (default)\n\
      \x20 --root <path>      scan an explicit directory instead\n\
-     \x20 --json             machine-readable report on stdout\n\
+     \x20 --format <f>       report format: human (default), json, sarif\n\
+     \x20 --json             shorthand for --format json\n\
+     \x20 --baseline <path>  ratchet gate: fail on error findings not in the\n\
+     \x20                    committed baseline, and on stale baseline entries\n\
+     \x20 --write-baseline <path>\n\
+     \x20                    write the current error findings as a baseline\n\
+     \x20                    (justifications must be edited in) and exit\n\
      \x20 --min-severity <s> hide findings below this severity in output\n\
      \x20 --rule <id>        run only the named rule (repeatable)\n\
      \x20 --list-rules       print the rule registry and exit\n\
@@ -44,17 +62,20 @@ fn usage() -> &'static str {
      \x20                    opts into `[lints] workspace = true`, then exit\n\
      \n\
      Suppress a finding with `// plugvolt-lint: allow(<rule-id>)` on the\n\
-     offending line or alone on the line above it.\n"
+     offending line or alone on the line above it; a suppression that\n\
+     silences nothing is itself a finding (unused-suppression).\n"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::new(),
-        json: false,
+        format: Format::Human,
         min_severity: Severity::Info,
         only_rules: Vec::new(),
         list_rules: false,
         check_workspace_lints: false,
+        baseline: None,
+        write_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,7 +85,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--root needs a path")?;
                 args.root = PathBuf::from(v);
             }
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                args.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline needs a path")?;
+                args.write_baseline = Some(PathBuf::from(v));
+            }
             "--min-severity" => {
                 let v = it.next().ok_or("--min-severity needs a value")?;
                 args.min_severity =
@@ -74,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--rule needs a rule id")?;
                 // A typo'd id would otherwise silently run zero rules and
                 // report the workspace clean.
-                if !registry().iter().any(|r| r.meta().id == v) {
+                if !all_rule_metas().iter().any(|m| m.id == v) {
                     return Err(format!("unknown rule id `{v}` (see --list-rules)"));
                 }
                 args.only_rules.push(v);
@@ -122,10 +160,9 @@ fn main() -> ExitCode {
         }
     };
     if args.list_rules {
-        for rule in registry() {
-            let meta = rule.meta();
+        for meta in all_rule_metas() {
             println!(
-                "{:<26} {:<8} {}",
+                "{:<28} {:<8} {}",
                 meta.id,
                 meta.severity.name(),
                 meta.summary
@@ -165,12 +202,68 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let gate_passes = result.passes_gate();
+
+    if let Some(path) = &args.write_baseline {
+        let text = baseline::write_baseline(&result.findings);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} baseline entr{} to {} — edit the justifications before committing",
+            result.count(Severity::Error),
+            if result.count(Severity::Error) == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Gate: with a baseline, the ratchet decides; without, any error
+    // finding fails.
+    let gate_passes = match &args.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: reading baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = match baseline::parse(&text) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let diff = baseline::diff(&result.findings, &entries);
+            for f in &diff.new {
+                eprintln!(
+                    "baseline: NEW error finding {}:{}:{} [{}] {}",
+                    f.path, f.line, f.column, f.rule, f.message
+                );
+            }
+            for e in &diff.stale {
+                eprintln!(
+                    "baseline: STALE entry [{}] {} `{}` — the finding is gone; \
+                     delete the entry (the ratchet only shrinks)",
+                    e.rule, e.path, e.snippet
+                );
+            }
+            diff.passes()
+        }
+        None => result.passes_gate(),
+    };
+
     result.findings.retain(|f| f.severity >= args.min_severity);
-    if args.json {
-        print!("{}", json_report(&result));
-    } else {
-        print!("{}", human_report(&result));
+    match args.format {
+        Format::Json => print!("{}", json_report(&result)),
+        Format::Sarif => print!("{}", sarif_report(&result, &all_rule_metas())),
+        Format::Human => print!("{}", human_report(&result)),
     }
     if gate_passes {
         ExitCode::SUCCESS

@@ -12,14 +12,18 @@
 //!
 //! `plugvolt-lint` is a lightweight, dependency-free source scanner:
 //! line/token level, no `syn`, works offline. It masks comments and
-//! string literals, tracks `#[cfg(test)]` spans, then runs a registry of
-//! rules over every Rust file in the workspace. Findings carry a
-//! severity; the tier-1 test `tests/static_analysis.rs` asserts the tree
-//! has **zero error-severity findings**, making the gate part of the
-//! build contract rather than advice.
+//! string literals, tracks `#[cfg(test)]` spans, then runs two rule
+//! registries: per-file rules over every Rust file, and workspace rules
+//! over an item-granularity symbol index + call graph built from all of
+//! them ([`items`], [`index`], [`callgraph`], [`workspace`]). Findings
+//! carry a severity; the tier-1 test `tests/static_analysis.rs` asserts
+//! the tree has zero error-severity findings outside the committed
+//! baseline ratchet ([`baseline`], `results/lint-baseline.json`), making
+//! the gate part of the build contract rather than advice.
 //!
 //! Suppression is per line: `// plugvolt-lint: allow(rule-id)` on the
-//! offending line, or alone on the line directly above it.
+//! offending line, or alone on the line directly above it. A suppression
+//! that silences nothing is itself a finding (`unused-suppression`).
 //!
 //! # Examples
 //!
@@ -36,16 +40,32 @@
 //! assert!(registry().len() >= 6);
 //! ```
 
+pub mod baseline;
+pub mod callgraph;
 pub mod findings;
+pub mod index;
+pub mod items;
 pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod runner;
+pub mod sarif;
 pub mod source;
+pub mod workspace;
+pub mod wsrules;
 
+pub use baseline::{diff as baseline_diff, BaselineDiff, BaselineEntry};
+pub use callgraph::{CallGraph, CallSite};
 pub use findings::{Finding, Severity};
+pub use index::{FnId, FnSymbol, SymbolIndex};
+pub use items::{parse_items, Item, ItemKind};
 pub use manifest::{check_workspace_lints_opt_in, LintsOptInViolation};
 pub use report::{human_report, json_report};
 pub use rules::{registry, Rule, RuleMeta};
-pub use runner::{scan_str, scan_workspace, ScanOptions, ScanResult};
+pub use runner::{
+    all_rule_metas, scan_files, scan_str, scan_strs, scan_workspace, ScanOptions, ScanResult,
+};
+pub use sarif::sarif_report;
 pub use source::SourceFile;
+pub use workspace::{Workspace, WorkspaceRule};
+pub use wsrules::workspace_registry;

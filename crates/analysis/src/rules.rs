@@ -22,12 +22,16 @@ pub trait Rule: Sync {
     /// The rule's metadata.
     fn meta(&self) -> RuleMeta;
 
-    /// Appends findings for `file` to `out`. Implementations must not
-    /// report suppressed lines; use [`emit`] which checks for them.
+    /// Appends findings for `file` to `out`. Suppression comments are
+    /// applied centrally by the runner (which also tracks which
+    /// comments earned their keep, for `unused-suppression`), so
+    /// implementations report every hit.
     fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
 }
 
-/// Pushes a finding unless the file suppresses the rule on that line.
+/// Pushes a finding. Suppression is applied later, centrally, by the
+/// runner — rules report unconditionally so the runner can tell which
+/// suppression comments actually fired.
 pub fn emit(
     file: &SourceFile,
     meta: RuleMeta,
@@ -36,9 +40,6 @@ pub fn emit(
     message: String,
     out: &mut Vec<Finding>,
 ) {
-    if file.is_suppressed(meta.id, line) {
-        return;
-    }
     out.push(Finding {
         rule: meta.id,
         severity: meta.severity,
@@ -68,13 +69,13 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
 /// Crates whose library code must be wall-clock free: everything that
 /// executes inside the simulated timeline. `bench`, shims and the CLI
 /// may time real-world things.
-const SIM_CRATES: [&str; 6] = ["des", "circuit", "cpu", "kernel", "core", "attacks"];
+pub(crate) const SIM_CRATES: [&str; 6] = ["des", "circuit", "cpu", "kernel", "core", "attacks"];
 
 /// Modules that emit experiment results; iteration order there is
 /// output order, so unordered containers are forbidden outright.
 const RESULT_MODULES: [&str; 4] = ["charmap", "characterize", "maximal", "experiments"];
 
-fn is_sim_crate(file: &SourceFile) -> bool {
+pub(crate) fn is_sim_crate(file: &SourceFile) -> bool {
     SIM_CRATES.contains(&file.crate_name.as_str())
 }
 
@@ -250,8 +251,9 @@ impl Rule for MsrWriteDiscipline {
         RuleMeta {
             id: "msr-write-discipline",
             severity: Severity::Error,
-            summary: "raw MSR 0x150/0x198 literals banned outside crates/msr; \
-                      go through plugvolt_msr::addr constants and the offset_limit clamp",
+            summary: "raw MSR 0x150/0x198 literals and direct package rdmsr/wrmsr calls \
+                      banned outside the blessed msr wrappers (workspace rule adds \
+                      call-graph detection); go through the offset_limit clamp",
         }
     }
 
@@ -285,7 +287,7 @@ impl Rule for MsrWriteDiscipline {
 
 /// Finds a hex literal token (case-insensitive on the payload digits),
 /// rejecting matches embedded in longer literals like `0x1500`.
-fn find_hex_literal(file: &SourceFile, literal: &str) -> Vec<(usize, usize)> {
+pub(crate) fn find_hex_literal(file: &SourceFile, literal: &str) -> Vec<(usize, usize)> {
     let mut hits = Vec::new();
     let lower = literal.to_ascii_lowercase();
     for (i, line) in file.masked.iter().enumerate() {
@@ -554,8 +556,9 @@ impl Rule for HotPathTranscendentals {
         RuleMeta {
             id: "hot-path-transcendentals",
             severity: Severity::Error,
-            summary: "powf/exp/ln calls banned inside run_batch*/run_imul*/poll* \
-                      hot paths in simulation crates; precompute via the slack table",
+            summary: "powf/exp/ln calls banned in code reachable from the \
+                      characterize*/run_cells/run_batch*/run_imul*/poll*/queue entry \
+                      points (call-graph reachability); precompute via the slack table",
         }
     }
 

@@ -1,8 +1,20 @@
 //! Workspace walking and rule execution.
+//!
+//! Execution order: per-file rules over every file, then workspace
+//! rules over the assembled [`Workspace`]. Suppression comments are
+//! applied *centrally* here — rules report unconditionally — so the
+//! runner knows which comments actually fired and can flag the rest
+//! through the `unused-suppression` pseudo-rule. Findings sharing
+//! (path, line, column, rule) are deduplicated keeping the earliest
+//! producer (per-file before workspace), which makes the re-grounded
+//! rules 4/8 a strict superset of their per-file halves.
 
 use crate::findings::{Finding, Severity};
 use crate::rules::registry;
 use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use crate::wsrules::{workspace_registry, UNUSED_SUPPRESSION_META};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// What to scan and how.
@@ -10,6 +22,12 @@ use std::path::{Path, PathBuf};
 pub struct ScanOptions {
     /// Only rules with these ids run; empty means all.
     pub only_rules: Vec<String>,
+}
+
+impl ScanOptions {
+    fn active(&self, id: &str) -> bool {
+        self.only_rules.is_empty() || self.only_rules.iter().any(|r| r == id)
+    }
 }
 
 /// The outcome of a scan.
@@ -52,16 +70,107 @@ pub fn scan_workspace(root: &Path, options: &ScanOptions) -> std::io::Result<Sca
     let mut paths = Vec::new();
     collect_rs_files(root, root, &mut paths)?;
     paths.sort();
-    let rules = active_rules(options);
-    let mut findings = Vec::new();
-    let files_scanned = paths.len();
+    let mut files = Vec::with_capacity(paths.len());
     for rel in &paths {
         let text = std::fs::read_to_string(root.join(rel))?;
-        let file = SourceFile::new(&rel.to_string_lossy(), &text);
-        for rule in &rules {
-            rule.check(&file, &mut findings);
+        files.push(SourceFile::new(&rel.to_string_lossy(), &text));
+    }
+    Ok(scan_files(files, options))
+}
+
+/// Runs per-file and workspace rules over already-loaded files: the
+/// core of every scan entry point.
+#[must_use]
+pub fn scan_files(files: Vec<SourceFile>, options: &ScanOptions) -> ScanResult {
+    let files_scanned = files.len();
+    let ws = Workspace::build(files);
+    let mut raw = Vec::new();
+    for rule in registry() {
+        if !options.active(rule.meta().id) {
+            continue;
+        }
+        for file in &ws.files {
+            rule.check(file, &mut raw);
         }
     }
+    for rule in workspace_registry() {
+        if !options.active(rule.meta().id) {
+            continue;
+        }
+        rule.check(&ws, &mut raw);
+    }
+
+    // Central suppression filtering, tracking which comments fired:
+    // (path, comment line, allowed-rule entry).
+    let mut used: BTreeSet<(&str, usize, &str)> = BTreeSet::new();
+    let mut findings = Vec::with_capacity(raw.len());
+    for finding in raw {
+        let Some(file) = ws.file(&finding.path) else {
+            findings.push(finding);
+            continue;
+        };
+        if !file.is_suppressed(finding.rule, finding.line) {
+            findings.push(finding);
+            continue;
+        }
+        for comment in &file.suppression_comments {
+            if !comment.covers.contains(&finding.line) {
+                continue;
+            }
+            for entry in &comment.rules {
+                if entry == finding.rule || entry == "all" {
+                    used.insert((file.path.as_str(), comment.line, entry.as_str()));
+                }
+            }
+        }
+    }
+
+    if options.active(UNUSED_SUPPRESSION_META.id) {
+        let known: BTreeSet<&str> = all_rule_metas().iter().map(|m| m.id).collect();
+        for file in &ws.files {
+            for comment in &file.suppression_comments {
+                if file.is_suppressed(UNUSED_SUPPRESSION_META.id, comment.line) {
+                    // `allow(unused-suppression)` covering this comment:
+                    // deliberate pre-emptive suppression, honored here
+                    // (and self-covering, so it cannot flag itself).
+                    continue;
+                }
+                for entry in &comment.rules {
+                    let message = if entry != "all" && !known.contains(entry.as_str()) {
+                        format!(
+                            "suppression comment allows unknown rule `{entry}` (see \
+                             --list-rules); it can never fire — fix the id or delete \
+                             the comment"
+                        )
+                    } else if !used.contains(&(file.path.as_str(), comment.line, entry.as_str())) {
+                        format!(
+                            "suppression comment allows `{entry}` but no such finding \
+                             occurs on the covered lines; stale suppressions hide \
+                             future violations — delete it"
+                        )
+                    } else {
+                        continue;
+                    };
+                    let column = file.lines[comment.line - 1]
+                        .find("plugvolt-lint")
+                        .map_or(1, |p| p + 1);
+                    findings.push(Finding {
+                        rule: UNUSED_SUPPRESSION_META.id,
+                        severity: UNUSED_SUPPRESSION_META.severity,
+                        path: file.path.clone(),
+                        line: comment.line,
+                        column,
+                        message,
+                        snippet: file.snippet(comment.line),
+                    });
+                }
+            }
+        }
+    }
+
+    // Stable sort + dedup: per-file findings were pushed first, so when
+    // the workspace half of rules 4/8 re-reports a site the per-file
+    // message wins and the finding appears once.
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.column, a.rule).cmp(&(
             b.path.as_str(),
@@ -70,32 +179,49 @@ pub fn scan_workspace(root: &Path, options: &ScanOptions) -> std::io::Result<Sca
             b.rule,
         ))
     });
-    Ok(ScanResult {
+    findings.dedup_by(|a, b| {
+        (a.path.as_str(), a.line, a.column, a.rule) == (b.path.as_str(), b.line, b.column, b.rule)
+    });
+    ScanResult {
         files_scanned,
         findings,
-    })
+    }
 }
 
 /// Scans a single in-memory file with the full registry — the embedding
-/// used by fixture tests and doc examples.
+/// used by fixture tests and doc examples. Workspace rules run over the
+/// one-file workspace.
 #[must_use]
 pub fn scan_str(path: &str, text: &str) -> Vec<Finding> {
-    let file = SourceFile::new(path, text);
-    let mut findings = Vec::new();
-    for rule in registry() {
-        rule.check(&file, &mut findings);
-    }
-    findings.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
-    findings
+    scan_strs(&[(path, text)]).findings
 }
 
-fn active_rules(options: &ScanOptions) -> Vec<Box<dyn crate::rules::Rule>> {
-    registry()
-        .into_iter()
-        .filter(|r| {
-            options.only_rules.is_empty() || options.only_rules.iter().any(|id| id == r.meta().id)
-        })
-        .collect()
+/// Scans several in-memory files as one workspace — the embedding for
+/// cross-file fixture tests.
+#[must_use]
+pub fn scan_strs(sources: &[(&str, &str)]) -> ScanResult {
+    let files = sources
+        .iter()
+        .map(|(path, text)| SourceFile::new(path, text))
+        .collect();
+    scan_files(files, &ScanOptions::default())
+}
+
+/// Every rule id the engine knows, in reporting order: per-file rules,
+/// then workspace-only rules, then the `unused-suppression` pseudo-rule.
+/// Ids shared between a per-file rule and its workspace half appear
+/// once (the per-file metadata wins).
+#[must_use]
+pub fn all_rule_metas() -> Vec<crate::rules::RuleMeta> {
+    let mut metas: Vec<crate::rules::RuleMeta> = registry().iter().map(|r| r.meta()).collect();
+    for rule in workspace_registry() {
+        let meta = rule.meta();
+        if metas.iter().all(|m| m.id != meta.id) {
+            metas.push(meta);
+        }
+    }
+    metas.push(UNUSED_SUPPRESSION_META);
+    metas
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -144,5 +270,65 @@ mod tests {
         };
         assert_eq!(result.count(Severity::Warning), 1);
         assert!(result.passes_gate(), "warnings do not gate");
+    }
+
+    #[test]
+    fn unused_suppression_fires_and_used_ones_do_not() {
+        // Used suppression: silences a real finding, no residue.
+        let findings = scan_str(
+            "crates/kernel/src/x.rs",
+            "use std::time::Instant; // plugvolt-lint: allow(no-wall-clock)\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        // Unused suppression: nothing to silence, so the comment itself
+        // is the finding.
+        let findings = scan_str(
+            "crates/kernel/src/x.rs",
+            "// plugvolt-lint: allow(no-wall-clock)\nfn fine() {}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unused-suppression");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_flagged() {
+        let findings = scan_str(
+            "crates/kernel/src/x.rs",
+            "use std::time::Instant; // plugvolt-lint: allow(no-wallclock)\n",
+        );
+        // The typo'd id suppresses nothing, so both the original finding
+        // and the unknown-rule finding surface.
+        assert!(findings.iter().any(|f| f.rule == "no-wall-clock"));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "unused-suppression" && f.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn allow_unused_suppression_is_honored() {
+        let findings = scan_str(
+            "crates/kernel/src/x.rs",
+            "// plugvolt-lint: allow(unused-suppression, no-wall-clock)\nfn fine() {}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn all_rule_metas_are_unique_and_cover_both_registries() {
+        let metas = all_rule_metas();
+        let ids: BTreeSet<&str> = metas.iter().map(|m| m.id).collect();
+        assert_eq!(ids.len(), metas.len(), "duplicate rule ids");
+        for id in [
+            "no-wall-clock",
+            "msr-write-discipline",
+            "hot-path-transcendentals",
+            "seed-label-uniqueness",
+            "parallel-merge-determinism",
+            "telemetry-key-registry",
+            "unused-suppression",
+        ] {
+            assert!(ids.contains(id), "missing {id}");
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! SARIF 2.1.0 report rendering — the exchange format CI artifact
+//! uploads and code-scanning UIs consume.
+//!
+//! Hand-rolled like the JSON reporter (the analysis crate is
+//! dependency-free by design) and minimal: one run, the full rule
+//! registry under `tool.driver.rules`, one result per finding with a
+//! physical location. The shape is pinned by a snapshot test; treat any
+//! change as a schema break.
+
+use crate::findings::Severity;
+use crate::report::json_str;
+use crate::rules::RuleMeta;
+use crate::runner::ScanResult;
+
+/// The SARIF spec version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Maps a finding severity onto a SARIF result level.
+#[must_use]
+pub fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Renders `result` as a SARIF 2.1.0 log with `rules` as the driver's
+/// rule table.
+#[must_use]
+pub fn sarif_report(result: &ScanResult, rules: &[RuleMeta]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"version\": {},\n", json_str(SARIF_VERSION)));
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n",
+    );
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"plugvolt-lint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, meta) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": {}}}}}",
+            json_str(meta.id),
+            json_str(meta.summary),
+            json_str(sarif_level(meta.severity)),
+        ));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in result.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(sarif_level(f.severity)),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line,
+            f.column,
+        ));
+    }
+    if !result.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{all_rule_metas, scan_str};
+
+    #[test]
+    fn level_mapping() {
+        assert_eq!(sarif_level(Severity::Error), "error");
+        assert_eq!(sarif_level(Severity::Warning), "warning");
+        assert_eq!(sarif_level(Severity::Info), "note");
+    }
+
+    #[test]
+    fn report_contains_rules_and_locations() {
+        let result = ScanResult {
+            files_scanned: 1,
+            findings: scan_str("crates/kernel/src/x.rs", "use std::time::Instant;\n"),
+        };
+        let sarif = sarif_report(&result, &all_rule_metas());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"id\": \"seed-label-uniqueness\""));
+        assert!(sarif.contains("\"ruleId\": \"no-wall-clock\""));
+        assert!(sarif.contains("\"startLine\": 1"));
+        assert!(sarif.contains("\"uri\": \"crates/kernel/src/x.rs\""));
+    }
+
+    #[test]
+    fn empty_scan_has_empty_results_array() {
+        let result = ScanResult {
+            files_scanned: 0,
+            findings: Vec::new(),
+        };
+        let sarif = sarif_report(&result, &[]);
+        assert!(sarif.contains("\"results\": []"));
+        assert!(sarif.contains("\"rules\": []"));
+    }
+}

@@ -35,6 +35,20 @@ impl FileRole {
     }
 }
 
+/// One `// plugvolt-lint: allow(…)` comment, with provenance kept so
+/// the `unused-suppression` rule can tell which comments earned their
+/// keep.
+#[derive(Debug, Clone)]
+pub struct SuppressionComment {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule ids listed inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// 1-based lines the comment covers (its own line, plus the next
+    /// line when the comment stands alone).
+    pub covers: Vec<usize>,
+}
+
 /// A loaded, pre-processed Rust source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -55,6 +69,8 @@ pub struct SourceFile {
     pub in_test_span: Vec<bool>,
     /// Rules suppressed on each line via `// plugvolt-lint: allow(...)`.
     pub suppressed: Vec<Vec<String>>,
+    /// The suppression comments themselves, in source order.
+    pub suppression_comments: Vec<SuppressionComment>,
 }
 
 impl SourceFile {
@@ -63,10 +79,10 @@ impl SourceFile {
     pub fn new(path: &str, text: &str) -> Self {
         let path = path.replace('\\', "/");
         let lines: Vec<String> = text.lines().map(str::to_owned).collect();
-        let masked = mask_lines(text);
+        let (masked, comment_bytes) = mask_lines(text);
         debug_assert_eq!(masked.len(), lines.len());
         let in_test_span = test_spans(&masked);
-        let suppressed = suppressions(&lines);
+        let (suppressed, suppression_comments) = suppressions(&lines, &comment_bytes);
         SourceFile {
             crate_name: crate_of(&path),
             role: role_of(&path),
@@ -75,6 +91,7 @@ impl SourceFile {
             masked,
             in_test_span,
             suppressed,
+            suppression_comments,
         }
     }
 
@@ -159,7 +176,13 @@ fn role_of(path: &str) -> FileRole {
 /// line breaks and column positions. Handles `//`, nested `/* */`,
 /// `"…"` with escapes, raw strings `r"…"`/`r#"…"#`, byte strings, and
 /// char literals (without tripping over lifetimes like `'a`).
-fn mask_lines(text: &str) -> Vec<String> {
+///
+/// Also returns, per raw line, a byte-level flag vector marking which
+/// bytes sit inside *comment* text (as opposed to code or string
+/// contents) — the suppression parser needs the distinction so an
+/// `allow(…)` mention inside a string literal or example is not treated
+/// as a live suppression.
+fn mask_lines(text: &str) -> (Vec<String>, Vec<Vec<bool>>) {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -171,7 +194,9 @@ fn mask_lines(text: &str) -> Vec<String> {
     }
     let mut state = State::Code;
     let mut out = Vec::new();
+    let mut flags_out: Vec<Vec<bool>> = Vec::new();
     let mut cur = String::new();
+    let mut cur_flags: Vec<bool> = Vec::new();
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     while i < chars.len() {
@@ -181,9 +206,12 @@ fn mask_lines(text: &str) -> Vec<String> {
                 state = State::Code;
             }
             out.push(std::mem::take(&mut cur));
+            flags_out.push(std::mem::take(&mut cur_flags));
             i += 1;
             continue;
         }
+        let consumed_from = i;
+        let was_comment = matches!(state, State::LineComment | State::BlockComment(_));
         match state {
             State::Code => {
                 let next = chars.get(i + 1).copied();
@@ -296,14 +324,25 @@ fn mask_lines(text: &str) -> Vec<String> {
                 }
             }
         }
+        // A byte is "comment" if it was consumed while inside a comment
+        // or while entering one (the `//` / `/*` opener itself).
+        let in_comment =
+            was_comment || matches!(state, State::LineComment | State::BlockComment(_));
+        for k in consumed_from..i.min(chars.len()) {
+            for _ in 0..chars[k].len_utf8() {
+                cur_flags.push(in_comment);
+            }
+        }
     }
     out.push(cur);
+    flags_out.push(cur_flags);
     // `str::lines` drops a trailing newline's empty line (and yields
     // nothing at all for empty input); mirror that.
     if text.ends_with('\n') || text.is_empty() {
         out.pop();
+        flags_out.pop();
     }
-    out
+    (out, flags_out)
 }
 
 fn prev_is_ident(cur: &str) -> bool {
@@ -377,13 +416,39 @@ fn test_spans(masked: &[String]) -> Vec<bool> {
 /// Parses `// plugvolt-lint: allow(rule-a, rule-b)` comments. A marker
 /// suppresses its own line; a marker alone on a line also suppresses the
 /// following line.
-fn suppressions(lines: &[String]) -> Vec<Vec<String>> {
+///
+/// Only markers inside real (non-doc) comments count: a mention inside a
+/// string literal or a `///`/`//!` doc comment is documentation, not a
+/// directive — treating those as live suppressions would make the lint's
+/// own docs and tests self-trigger `unused-suppression`.
+fn suppressions(
+    lines: &[String],
+    comment_bytes: &[Vec<bool>],
+) -> (Vec<Vec<String>>, Vec<SuppressionComment>) {
     const MARKER: &str = "plugvolt-lint:";
     let mut out: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    let mut comments = Vec::new();
     for (i, line) in lines.iter().enumerate() {
         let Some(pos) = line.find(MARKER) else {
             continue;
         };
+        let flags = &comment_bytes[i];
+        if !flags.get(pos).copied().unwrap_or(false) {
+            continue; // inside a string literal or plain code
+        }
+        // Walk back over comment bytes to the opener; doc comments are
+        // documentation, not directives.
+        let mut start = pos;
+        while start > 0 && flags.get(start - 1).copied().unwrap_or(false) {
+            start -= 1;
+        }
+        let opener = &line[start..];
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| opener.starts_with(d))
+        {
+            continue;
+        }
         let rest = line[pos + MARKER.len()..].trim_start();
         let Some(inner) = rest
             .strip_prefix("allow(")
@@ -400,13 +465,20 @@ fn suppressions(lines: &[String]) -> Vec<Vec<String>> {
             continue;
         }
         out[i].extend(rules.iter().cloned());
+        let mut covers = vec![i + 1];
         // Standalone comment line: also cover the next line.
         let standalone = line.trim_start().starts_with("//");
         if standalone && i + 1 < lines.len() {
-            out[i + 1].extend(rules);
+            out[i + 1].extend(rules.iter().cloned());
+            covers.push(i + 2);
         }
+        comments.push(SuppressionComment {
+            line: i + 1,
+            rules,
+            covers,
+        });
     }
-    out
+    (out, comments)
 }
 
 #[cfg(test)]
@@ -487,6 +559,35 @@ let c = bad();
         assert!(f.is_suppressed("no-ambient-rng", 3));
         assert!(f.is_suppressed("msr-write-discipline", 3));
         assert!(!f.is_suppressed("no-ambient-rng", 4));
+    }
+
+    #[test]
+    fn suppression_ignored_in_docs_and_strings() {
+        let src = "\
+//! Mentions `// plugvolt-lint: allow(no-wall-clock)` in module docs.
+/// Suppress with `// plugvolt-lint: allow(no-ambient-rng)`.
+fn documented() {}
+let s = \"// plugvolt-lint: allow(msr-write-discipline)\";
+let t = bad(); // plugvolt-lint: allow(no-unwrap-in-lib)
+";
+        let f = SourceFile::new("crates/demo/src/lib.rs", src);
+        assert!(!f.is_suppressed("no-wall-clock", 1));
+        assert!(!f.is_suppressed("no-wall-clock", 2));
+        assert!(!f.is_suppressed("no-ambient-rng", 2));
+        assert!(!f.is_suppressed("no-ambient-rng", 3));
+        assert!(!f.is_suppressed("msr-write-discipline", 4));
+        assert!(f.is_suppressed("no-unwrap-in-lib", 5));
+        assert_eq!(f.suppression_comments.len(), 1, "only the real comment");
+        assert_eq!(f.suppression_comments[0].line, 5);
+    }
+
+    #[test]
+    fn suppression_in_block_comment_counts() {
+        let f = SourceFile::new(
+            "crates/demo/src/lib.rs",
+            "let a = bad(); /* plugvolt-lint: allow(no-wall-clock) */\n",
+        );
+        assert!(f.is_suppressed("no-wall-clock", 1));
     }
 
     #[test]

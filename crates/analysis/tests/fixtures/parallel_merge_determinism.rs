@@ -1,0 +1,52 @@
+//! Fixture: order-dependent merges inside `thread::scope` workers, next
+//! to the sanctioned index-addressed-slot pattern.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn bad_merge(items: &[u64]) -> Vec<u64> {
+    let results = Mutex::new(Vec::new());
+    let counter = AtomicUsize::new(0);
+    let mut grand_total = 0u64;
+    std::thread::scope(|s| {
+        for &item in items {
+            s.spawn(|| {
+                let r = item * 2;
+                if let Ok(mut guard) = results.lock() { guard.push(r); }
+                counter.fetch_add(1, Ordering::SeqCst);
+                accumulate(&mut grand_total, r);
+            });
+        }
+    });
+    results.into_inner().unwrap_or_default()
+}
+
+pub fn good_merge(items: &[u64]) -> Vec<u64> {
+    let slots: Vec<Mutex<Option<u64>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= slots.len() {
+                    break;
+                }
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(compute(i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .filter_map(|m| m.into_inner().ok().flatten())
+        .collect()
+}
+
+fn accumulate(total: &mut u64, r: u64) {
+    *total += r;
+}
+
+fn compute(i: usize) -> u64 {
+    i as u64
+}

@@ -1,0 +1,35 @@
+//! Fixture: duplicate seed-derivation labels across call sites.
+
+pub fn build_attack(root: u64) -> (u64, u64) {
+    let a = derive_seed(root, "attack-stream");
+    let b = derive_seed(root, "attack-stream");
+    (a, b)
+}
+
+pub fn build_noise(root: u64) -> u64 {
+    derive_seed(root, "noise-stream")
+}
+
+pub fn build_computed(root: u64, core: usize) -> u64 {
+    let label = label_for(core);
+    derive_seed(root, &label)
+}
+
+fn label_for(core: usize) -> String {
+    let mut s = String::new();
+    s.push_str("core-");
+    s.push((b'0' + core as u8) as char);
+    s
+}
+
+fn derive_seed(root: u64, label: &str) -> u64 {
+    root ^ label.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_labels_are_exempt() {
+        let _ = super::derive_seed(1, "attack-stream");
+    }
+}

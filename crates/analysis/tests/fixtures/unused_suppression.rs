@@ -1,0 +1,19 @@
+//! Fixture: suppression comments that earn their keep vs. ones that rot.
+
+use std::time::Instant; // plugvolt-lint: allow(no-wall-clock)
+
+pub fn stamp() -> u64 {
+    // plugvolt-lint: allow(no-wall-clock)
+    let _ = Instant::now();
+    0
+}
+
+pub fn clean() -> u64 {
+    // plugvolt-lint: allow(no-wall-clock)
+    42
+}
+
+// plugvolt-lint: allow(not-a-real-rule)
+pub fn also_clean() -> u64 {
+    7
+}

@@ -34,11 +34,13 @@
 
 pub mod event;
 pub mod export;
+pub mod keys;
 pub mod profile;
 pub mod registry;
 
 pub use event::{TelemetryEvent, TimedEvent};
 pub use export::events_to_vcd;
+pub use keys::{KeyDecl, KeyKind, KeyScope, REGISTERED_KEYS};
 pub use profile::{TelemetryProfile, SCHEMA_VERSION};
 pub use registry::{
     hot_path_enabled, set_hot_path_enabled, HistogramSpec, MetricKey, Registry, Sink,

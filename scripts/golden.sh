@@ -51,12 +51,16 @@ regenerate() {
 }
 
 # Emits "sha256  relative-path" lines for every artifact under $1,
-# sorted by path so the manifest is stable.
+# sorted by path so the manifest is stable. results/lint-baseline.json
+# is excluded: it is the static-analysis ratchet — a hand-justified,
+# reviewed file, not a regenerated artifact — and `regenerate` never
+# produces it.
 manifest_of() {
     local dir="$1" f
     (
         cd "$dir"
         find . -type f \( -name '*.txt' -o -name '*.json' \) ! -name '.*' \
+            ! -name 'lint-baseline.json' \
             | sed 's|^\./||' | LC_ALL=C sort
     ) | while read -r f; do
         printf '%s  %s\n' "$(sha "$dir/$f")" "$f"
