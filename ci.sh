@@ -12,8 +12,9 @@
 #   5. build               cargo build --release (whole workspace)
 #   6. tests               cargo test -q (tier-1 suite + all members)
 #   7. bench gate          plugvolt-cli bench --smoke vs committed BENCH.json
-#   8. soak gate           plugvolt-cli soak --smoke + corpus replay
-#   9. golden gate         results/ regenerate bit-for-bit vs golden.manifest
+#   8. attribution smoke   plugvolt-cli bench --attr --smoke + Chrome trace
+#   9. soak gate           plugvolt-cli soak --smoke + corpus replay
+#  10. golden gate         results/ regenerate bit-for-bit vs golden.manifest
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -75,6 +76,14 @@ step "plugvolt-cli bench --smoke"
 # ratio the committed report records (speedups are host-normalized, so
 # the comparison is meaningful on any machine).
 ./target/release/plugvolt-cli bench --smoke --baseline BENCH.json
+
+step "plugvolt-cli bench --attr --smoke"
+# Span-tracer attribution pass over a coarse characterize-grid run:
+# prints the per-subsystem hot-path table (the DESIGN.md §5d evidence)
+# and exports the Chrome trace-event JSON, which the workflow uploads
+# as an artifact so any CI run's hot paths can be opened in Perfetto.
+./target/release/plugvolt-cli bench --attr --smoke \
+    --trace-out target/bench-smoke.trace.json
 
 step "plugvolt-cli soak --smoke"
 # Randomized attack campaigns vs all four deployment levels, judged by

@@ -367,6 +367,14 @@ fn find_method_call(masked: &str, name: &str) -> Option<usize> {
 /// drift is a schema break that no test would otherwise catch. Calls
 /// with computed components or names are assumed covered by the literal
 /// sites that feed them (e.g. the hot-counter flush loop) and skipped.
+///
+/// Span labels are held to the same contract: every literal label in a
+/// `.span("…")` / `.record_span("…", …)` method call in cpu/kernel/core
+/// must appear exactly once in the registry's `REGISTERED_SPANS` table
+/// (declared via `span("label", "doc")`), and every registered label
+/// must be emitted somewhere. Relay methods that forward a computed
+/// label contribute no literal and are skipped, covered by their
+/// literal callers.
 pub struct TelemetryKeyRegistry;
 
 /// Where registered keys live.
@@ -381,9 +389,9 @@ impl WorkspaceRule for TelemetryKeyRegistry {
         RuleMeta {
             id: "telemetry-key-registry",
             severity: Severity::Error,
-            summary: "every metric key emitted in cpu/kernel/core appears exactly once \
-                      in crates/telemetry/src/keys.rs and vice versa, protecting the \
-                      schema_version=1 export",
+            summary: "every metric key and span label emitted in cpu/kernel/core appears \
+                      exactly once in crates/telemetry/src/keys.rs and vice versa, \
+                      protecting the schema_version=1 export",
         }
     }
 
@@ -423,9 +431,39 @@ impl WorkspaceRule for TelemetryKeyRegistry {
             }
         }
 
-        // Registry entries: key("comp", "name", …) in keys.rs.
+        // Span-label emission sites: `.span("label"…)` /
+        // `.record_span("label"…)` method calls. Bare `span` idents
+        // (locals, declarations) and relays forwarding a computed label
+        // contribute nothing.
+        let mut span_emitted: Vec<(String, String, usize, usize)> = Vec::new();
+        for file in &ws.files {
+            if !TELEMETRY_SCOPE_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            for method in ["span", "record_span"] {
+                for (line, column) in file.find_ident(method) {
+                    if file.is_test_code(line) {
+                        continue;
+                    }
+                    let text = &file.masked[line - 1];
+                    if !text[..column - 1].ends_with('.')
+                        || !text[column - 1 + method.len()..].starts_with('(')
+                    {
+                        continue;
+                    }
+                    let lits = call_string_literals(file, line, column + method.len());
+                    if let Some(label) = lits.first() {
+                        span_emitted.push((label.clone(), file.path.clone(), line, column));
+                    }
+                }
+            }
+        }
+
+        // Registry entries: key("comp", "name", …) and
+        // span("label", "doc") in keys.rs.
         let registry_file = ws.file(TELEMETRY_REGISTRY_PATH);
         let mut registered: Vec<(String, String, usize, usize)> = Vec::new();
+        let mut span_registered: Vec<(String, usize, usize)> = Vec::new();
         if let Some(file) = registry_file {
             for (line, column) in file.find_ident("key") {
                 if file.is_test_code(line) {
@@ -444,6 +482,23 @@ impl WorkspaceRule for TelemetryKeyRegistry {
                     registered.push((lits[0].clone(), lits[1].clone(), line, column));
                 }
             }
+            for (line, column) in file.find_ident("span") {
+                if file.is_test_code(line) {
+                    continue;
+                }
+                let text = &file.masked[line - 1];
+                let before = &text[..column - 1];
+                if before.trim_end().ends_with("fn") || before.ends_with('.') {
+                    continue;
+                }
+                if !text[column - 1 + "span".len()..].starts_with('(') {
+                    continue;
+                }
+                let lits = call_string_literals(file, line, column + "span".len());
+                if let Some(label) = lits.first() {
+                    span_registered.push((label.clone(), line, column));
+                }
+            }
         }
 
         if registry_file.is_none() {
@@ -458,6 +513,21 @@ impl WorkspaceRule for TelemetryKeyRegistry {
                         "metric key `{comp}/{name}` is emitted but no telemetry key \
                          registry exists ({TELEMETRY_REGISTRY_PATH}); declare every \
                          emitted key there so the export schema stays pinned"
+                    ),
+                    out,
+                );
+            }
+            if let Some((label, path, line, column)) = span_emitted.first() {
+                emit_ws(
+                    ws,
+                    self.meta(),
+                    path,
+                    *line,
+                    *column,
+                    format!(
+                        "span label `{label}` is emitted but no telemetry key registry \
+                         exists ({TELEMETRY_REGISTRY_PATH}); declare every emitted span \
+                         label there so the trace schema stays pinned"
                     ),
                     out,
                 );
@@ -519,6 +589,60 @@ impl WorkspaceRule for TelemetryKeyRegistry {
                         "telemetry key `{comp}/{name}` is registered but never emitted \
                          by the cpu/kernel/core crates; remove the stale entry or wire \
                          up the emission"
+                    ),
+                    out,
+                );
+            }
+        }
+
+        let span_reg_set: BTreeSet<&str> =
+            span_registered.iter().map(|(l, ..)| l.as_str()).collect();
+        let span_emit_set: BTreeSet<&str> = span_emitted.iter().map(|(l, ..)| l.as_str()).collect();
+        for (label, path, line, column) in &span_emitted {
+            if !span_reg_set.contains(label.as_str()) {
+                emit_ws(
+                    ws,
+                    self.meta(),
+                    path,
+                    *line,
+                    *column,
+                    format!(
+                        "span label `{label}` is not declared in the telemetry registry \
+                         ({TELEMETRY_REGISTRY_PATH}); register it in REGISTERED_SPANS so \
+                         trace consumers see a complete label set"
+                    ),
+                    out,
+                );
+            }
+        }
+        let mut seen_spans: BTreeSet<&str> = BTreeSet::new();
+        for (label, line, column) in &span_registered {
+            if !seen_spans.insert(label.as_str()) {
+                emit_ws(
+                    ws,
+                    self.meta(),
+                    TELEMETRY_REGISTRY_PATH,
+                    *line,
+                    *column,
+                    format!(
+                        "span label `{label}` is registered more than once; the registry \
+                         must list every label exactly once"
+                    ),
+                    out,
+                );
+                continue;
+            }
+            if !span_emit_set.contains(label.as_str()) {
+                emit_ws(
+                    ws,
+                    self.meta(),
+                    TELEMETRY_REGISTRY_PATH,
+                    *line,
+                    *column,
+                    format!(
+                        "span label `{label}` is registered but never emitted by the \
+                         cpu/kernel/core crates; remove the stale entry or wire up the \
+                         instrumentation"
                     ),
                     out,
                 );

@@ -112,6 +112,58 @@ pub const KEYS: &[KeyDecl] = &[
 }
 
 #[test]
+fn telemetry_span_registry_checks_both_directions() {
+    let emitter = r#"
+pub fn instrument(tracer: &Tracer) {
+    let _g = tracer.span("characterize/point");
+    tracer.record_span("typo/span", 0);
+    let label = dynamic_label();
+    tracer.record_span(label, 1);
+}
+"#;
+    let registry = r#"
+const fn span(label: &'static str, doc: &'static str) -> SpanDecl {
+    SpanDecl { label, doc }
+}
+pub const REGISTERED_SPANS: &[SpanDecl] = &[
+    span("characterize/point", "one grid point"),
+    span("characterize/point", "registered twice"),
+    span("stale/span", "never emitted"),
+];
+"#;
+    let result = scan_strs(&[
+        ("crates/core/src/fixture.rs", emitter),
+        ("crates/telemetry/src/keys.rs", registry),
+    ]);
+    let findings = result.findings;
+    assert_eq!(rules_hit(&findings), ["telemetry-key-registry"]);
+    // The computed-label relay contributes nothing; the typo'd label,
+    // the duplicate entry and the stale entry are each one finding.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`typo/span`") && f.message.contains("not declared")));
+    assert!(findings.iter().any(
+        |f| f.message.contains("`characterize/point`") && f.message.contains("more than once")
+    ));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`stale/span`") && f.message.contains("never emitted")));
+}
+
+#[test]
+fn telemetry_rule_reports_missing_registry_for_spans() {
+    let findings = scan_str(
+        "crates/core/src/fixture.rs",
+        "pub fn f(t: &Tracer) {\n    t.record_span(\"poll/iteration\", 0);\n}\n",
+    );
+    assert_eq!(rules_hit(&findings), ["telemetry-key-registry"]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("no telemetry key registry"));
+    assert!(findings[0].message.contains("`poll/iteration`"));
+}
+
+#[test]
 fn telemetry_rule_reports_missing_registry() {
     let findings = scan_str(
         "crates/cpu/src/fixture.rs",

@@ -10,10 +10,22 @@
 //! plugvolt-cli energy       --model comet-lake --map map.json
 //! plugvolt-cli telemetry    --profile profile.json [--vcd out.vcd]
 //! plugvolt-cli bench        [--smoke] [--out BENCH.json] [--baseline BENCH.json]
+//! plugvolt-cli bench        --attr [--smoke] [--model M]
+//!                           [--trace-out trace.json] [--flame-out stacks.txt]
 //! plugvolt-cli soak         [--smoke] [--seed N] [--campaigns N] [--workers N]
 //!                           [--model M] [--corpus DIR] [--out report.json]
-//!                           [--no-self-test]
+//!                           [--stream frames.jsonl] [--no-self-test]
 //! ```
+//!
+//! `bench --attr` replaces the perf harness with a traced
+//! characterize-grid pass: a per-subsystem hot-path attribution table
+//! (the DESIGN.md §5d evidence), an optional Chrome trace-event JSON
+//! export (`--trace-out`, loadable in Perfetto or `chrome://tracing`)
+//! and an optional collapsed-stack flamegraph (`--flame-out`).
+//! `soak --stream` writes one pinned-schema JSONL telemetry frame per
+//! campaign (registry counter deltas plus span aggregates; the stream
+//! clock is the campaign index, one campaign per simulated
+//! millisecond) and forces the sequential campaign path.
 //!
 //! The characterization artifact is plain JSON — the same bytes the
 //! kernel module consumes — so the stages can run on different machines,
@@ -30,12 +42,86 @@ use plugvolt::deploy::Deployment;
 use plugvolt::maximal::MaximalSafeState;
 use plugvolt::poll::PollConfig;
 use plugvolt_attacks::plundervolt::{run_rsa_attack, PlundervoltConfig};
+use plugvolt_bench::attr::{render_attribution, run_attribution, AttrOptions};
 use plugvolt_bench::experiments::energy_ablation;
 use plugvolt_bench::scenario::Scenario;
 use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::model::CpuModel;
-use plugvolt_telemetry::{events_to_vcd, TelemetryProfile, SCHEMA_VERSION};
+use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_telemetry::{
+    chrome_trace_json, events_to_vcd, flamegraph_collapsed, set_span_tracing_default, Sink,
+    StreamCursor, TelemetryProfile, SCHEMA_VERSION,
+};
+use std::fmt;
+use std::io::Write as _;
 use std::process::ExitCode;
+
+/// Typed errors for the newer CLI flags (`--attr`, `--trace-out`,
+/// `--flame-out`, `--stream`) — structured variants instead of ad-hoc
+/// `format!` strings, so callers and tests can match on the failure.
+#[derive(Debug)]
+enum CliError {
+    /// A value-taking flag was passed without its value.
+    MissingValue {
+        /// The flag in question.
+        flag: &'static str,
+    },
+    /// A flag only meaningful in combination was passed alone.
+    RequiresFlag {
+        /// The flag in question.
+        flag: &'static str,
+        /// The flag it requires.
+        requires: &'static str,
+    },
+    /// Stream-file I/O failed.
+    StreamIo {
+        /// Stream destination path.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue { flag } => {
+                write!(
+                    f,
+                    "{flag} requires a value (none given, or the next token is a flag)"
+                )
+            }
+            CliError::RequiresFlag { flag, requires } => {
+                write!(f, "{flag} only makes sense together with {requires}")
+            }
+            CliError::StreamIo { path, source } => {
+                write!(f, "cannot write telemetry stream to {path}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::StreamIo { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The value of a value-taking flag, or a typed [`CliError`] when the
+/// flag is present but the value token is missing or looks like
+/// another flag.
+fn value_of(args: &[String], flag: &'static str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(CliError::MissingValue { flag }),
+        },
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -162,6 +248,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "bench" => {
             let smoke = flag("--smoke");
+            if flag("--attr") {
+                return attr_command(&args, smoke);
+            }
+            for f in ["--trace-out", "--flame-out"] {
+                if args.iter().any(|a| a == f) {
+                    return Err(CliError::RequiresFlag {
+                        flag: f,
+                        requires: "--attr",
+                    }
+                    .into());
+                }
+            }
             let out = opt("--out");
             eprintln!(
                 "running the deterministic perf harness ({} workloads)…",
@@ -236,16 +334,61 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
             })?;
             let corpus = opt("--corpus");
-            let scn = Scenario::with_seed(seed);
+            let stream_path = value_of(&args, "--stream")?;
+            let mut scn = Scenario::with_seed(seed);
+            let stream_sink = stream_path.as_ref().map(|_| Sink::new());
+            if let Some(sink) = &stream_sink {
+                scn = scn.with_telemetry(sink.clone());
+            }
             eprintln!(
                 "soaking {} with {} campaigns × 4 deployment levels (seed {seed:#x})…",
                 cfg.model, cfg.campaigns
             );
-            let report = plugvolt_bench::soak::run_soak(
-                &scn,
-                &cfg,
-                corpus.as_deref().map(std::path::Path::new),
-            )?;
+            let corpus_dir = corpus.as_deref().map(std::path::Path::new);
+            let report = match (&stream_path, &stream_sink) {
+                (Some(path), Some(sink)) => {
+                    let stream_io = |e: std::io::Error| CliError::StreamIo {
+                        path: path.clone(),
+                        source: e,
+                    };
+                    let mut file = std::fs::File::create(path).map_err(stream_io)?;
+                    // One campaign advances the stream clock by one
+                    // simulated millisecond; span tracing is enabled
+                    // globally so campaign machines feed the frames'
+                    // span aggregates.
+                    let mut cursor = StreamCursor::new(1);
+                    let mut frames = 0u64;
+                    let mut io_error: Option<std::io::Error> = None;
+                    set_span_tracing_default(true);
+                    let result = plugvolt_bench::soak::run_soak_streaming(
+                        &scn,
+                        &cfg,
+                        corpus_dir,
+                        Some(&mut |campaigns: u32| {
+                            let now =
+                                SimTime::ZERO + SimDuration::from_millis(u64::from(campaigns));
+                            if let Some(frame) = cursor.poll(sink, now) {
+                                frames += 1;
+                                if let Err(e) = writeln!(file, "{}", frame.to_jsonl()) {
+                                    io_error.get_or_insert(e);
+                                }
+                            }
+                        }),
+                    );
+                    set_span_tracing_default(false);
+                    let report = result?;
+                    if let Some(e) = io_error {
+                        return Err(stream_io(e).into());
+                    }
+                    let end = SimTime::ZERO + SimDuration::from_millis(u64::from(cfg.campaigns));
+                    let frame = cursor.flush(sink, end);
+                    writeln!(file, "{}", frame.to_jsonl()).map_err(stream_io)?;
+                    frames += 1;
+                    eprintln!("{frames} telemetry frames streamed to {path}");
+                    report
+                }
+                _ => plugvolt_bench::soak::run_soak(&scn, &cfg, corpus_dir)?,
+            };
             let json = report.to_json();
             match opt("--out") {
                 Some(path) => {
@@ -323,8 +466,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             eprintln!(
-                "usage: plugvolt-cli <characterize|inspect|maximal|attack|energy|telemetry|bench|soak> [options]\n\
-                 see the module docs (`cargo doc`) for the full synopsis\n\
+                "usage: plugvolt-cli <subcommand> [options]\n\
+                 \n\
+                 \x20 characterize --model M --out map.json [--coarse] [--workers N] [--seed N]\n\
+                 \x20 inspect      --map map.json\n\
+                 \x20 maximal      --map map.json [--margin MV]\n\
+                 \x20 attack       --model M [--map map.json --deploy polling|microcode|hardware|ocm-disable]\n\
+                 \x20 energy       --model M --map map.json\n\
+                 \x20 telemetry    --profile profile.json [--vcd out.vcd]\n\
+                 \x20 bench        [--smoke] [--out BENCH.json] [--baseline BENCH.json]\n\
+                 \x20 bench        --attr [--smoke] [--model M] [--trace-out trace.json] [--flame-out stacks.txt]\n\
+                 \x20 soak         [--smoke] [--seed N] [--campaigns N] [--workers N] [--model M]\n\
+                 \x20              [--corpus DIR] [--out report.json] [--stream frames.jsonl] [--no-self-test]\n\
+                 \n\
+                 `bench --attr` prints the per-subsystem hot-path attribution table;\n\
+                 `--trace-out` exports a Chrome trace-event JSON (load in Perfetto);\n\
+                 `soak --stream` appends one pinned-schema telemetry frame per campaign.\n\
                  \n\
                  lint the workspace sources (determinism & MSR-safety gate):\n\
                  \x20 cargo run -p plugvolt-analysis --bin plugvolt-lint -- --workspace"
@@ -332,6 +489,45 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Err("missing or unknown subcommand".into())
         }
     }
+}
+
+/// The `bench --attr` subcommand: one traced characterize-grid pass,
+/// rendered as the per-subsystem attribution table, with optional
+/// Chrome-trace and collapsed-stack flamegraph exports.
+fn attr_command(args: &[String], smoke: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let trace_out = value_of(args, "--trace-out")?;
+    let flame_out = value_of(args, "--flame-out")?;
+    let model = match value_of(args, "--model")? {
+        Some(m) => parse_model(&m)?,
+        None => CpuModel::CometLake,
+    };
+    eprintln!(
+        "tracing a {} characterize-grid pass on {model}…",
+        if smoke {
+            "coarse (smoke)"
+        } else {
+            "paper-resolution"
+        }
+    );
+    let attr = run_attribution(&AttrOptions {
+        model,
+        smoke,
+        capture_events: trace_out.is_some(),
+    })?;
+    print!("{}", render_attribution(&attr));
+    if let Some(path) = trace_out {
+        let process = format!("plugvolt characterize-grid ({})", attr.model);
+        std::fs::write(&path, chrome_trace_json(&attr.events, &process))?;
+        eprintln!(
+            "{} span events exported to {path} (load in Perfetto or chrome://tracing)",
+            attr.events.len()
+        );
+    }
+    if let Some(path) = flame_out {
+        std::fs::write(&path, flamegraph_collapsed(&attr.rows))?;
+        eprintln!("collapsed stacks written to {path} (feed to flamegraph.pl)");
+    }
+    Ok(())
 }
 
 fn parse_model(s: &str) -> Result<CpuModel, String> {

@@ -26,6 +26,11 @@
 //! --telemetry <path> writes a deterministic telemetry profile (JSON)
 //!        covering the run: MSR traffic, detection latency, exposure
 //!        windows (table2/defense/levels/interval).
+//! --stream <path> appends pinned-schema JSONL telemetry snapshot
+//!        frames (registry counter deltas plus span aggregates) every
+//!        simulated millisecond while the characterization figures
+//!        (fig2/fig3/fig4) sweep; each experiment is re-based onto one
+//!        monotone stream clock.
 //! ```
 
 use plugvolt::characterize::CharacterizationRun;
@@ -34,8 +39,9 @@ use plugvolt_bench::scenario::Scenario;
 use plugvolt_bench::text::TextTable;
 use plugvolt_cpu::freq::FreqMhz;
 use plugvolt_cpu::model::CpuModel;
+use plugvolt_des::time::SimTime;
 use plugvolt_msr::oc_mailbox::{encode_offset_request, OcRequest, Plane};
-use plugvolt_telemetry::Sink;
+use plugvolt_telemetry::{Sink, StreamCursor};
 use plugvolt_workloads::overhead::{run_table2_with, OverheadConfig};
 use std::process::ExitCode;
 
@@ -54,20 +60,46 @@ fn main() -> ExitCode {
         eprintln!("--telemetry requires a file path argument");
         return ExitCode::from(2);
     }
-    // The token right after --telemetry is its value, not the command.
+    let spos = args.iter().position(|a| a == "--stream");
+    let stream_path = spos.and_then(|i| args.get(i + 1)).cloned();
+    if spos.is_some() && stream_path.as_deref().map_or(true, |p| p.starts_with("--")) {
+        eprintln!("--stream requires a file path argument");
+        return ExitCode::from(2);
+    }
+    // The tokens right after --telemetry / --stream are their values,
+    // not the command.
     let cmd = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && tpos.map_or(true, |t| *i != t + 1))
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && tpos.map_or(true, |t| *i != t + 1)
+                && spos.map_or(true, |s| *i != s + 1)
+        })
         .map(|(_, a)| a.clone());
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro [--full] [--json] [--telemetry <path>] <table1|fig1|fig2|fig3|fig4|table2|defense|levels|stepping|interval|planes|energy|units|attest|all>");
+        eprintln!("usage: repro [--full] [--json] [--telemetry <path>] [--stream <path>] <table1|fig1|fig2|fig3|fig4|table2|defense|levels|stepping|interval|planes|energy|units|attest|all>");
         return ExitCode::from(2);
     };
-    let sink = telemetry_path.as_ref().map(|_| Sink::new());
+    let sink = (telemetry_path.is_some() || stream_path.is_some()).then(Sink::new);
     let scn = match &sink {
         Some(sink) => Scenario::new().with_telemetry(sink.clone()),
         None => Scenario::new(),
+    };
+    let mut stream = match (&stream_path, &sink) {
+        (Some(path), Some(sink)) => {
+            // The stream frames carry span aggregates; the machines of
+            // the streamed figures share this sink's tracer.
+            sink.tracer().set_enabled(true);
+            match StreamWriter::create(path) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("cannot write telemetry stream to {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        _ => None,
     };
     let run = |name: &str| cmd == "all" || cmd == name;
     let mut matched = cmd == "all";
@@ -87,7 +119,7 @@ fn main() -> ExitCode {
     ] {
         if run(name) {
             matched = true;
-            figure(&scn, name, model, full);
+            figure(&scn, name, model, full, stream.as_mut());
         }
     }
     if run("table2") {
@@ -130,6 +162,21 @@ fn main() -> ExitCode {
         eprintln!("unknown experiment '{cmd}'");
         return ExitCode::from(2);
     }
+    if let (Some(w), Some(sink)) = (stream.as_mut(), &sink) {
+        match w.finish(sink) {
+            Ok(frames) => eprintln!(
+                "{frames} telemetry frames streamed to {}",
+                stream_path.as_deref().unwrap_or("?")
+            ),
+            Err(e) => {
+                eprintln!(
+                    "cannot write telemetry stream to {}: {e}",
+                    stream_path.as_deref().unwrap_or("?")
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
     if let (Some(path), Some(sink)) = (telemetry_path, sink) {
         let profile = sink.profile(&cmd);
         if let Err(e) = std::fs::write(&path, profile.to_json() + "\n") {
@@ -144,6 +191,72 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Streams pinned-schema telemetry frames to a JSONL file while the
+/// characterization figures sweep. Each experiment boots an
+/// independent machine whose sim clock restarts at zero, so the writer
+/// re-bases every experiment onto one monotone stream clock
+/// (`base_ps`) before polling the cursor; I/O errors are stashed and
+/// surfaced once at [`StreamWriter::finish`].
+struct StreamWriter {
+    cursor: StreamCursor,
+    out: std::fs::File,
+    frames: u64,
+    base_ps: u64,
+    last_ps: u64,
+    error: Option<std::io::Error>,
+}
+
+impl StreamWriter {
+    fn create(path: &str) -> Result<Self, std::io::Error> {
+        Ok(StreamWriter {
+            cursor: StreamCursor::new(1),
+            out: std::fs::File::create(path)?,
+            frames: 0,
+            base_ps: 0,
+            last_ps: 0,
+            error: None,
+        })
+    }
+
+    /// Re-base the stream clock before an experiment: its machine's
+    /// sim clock starts over at zero.
+    fn begin_experiment(&mut self) {
+        self.base_ps = self.last_ps;
+    }
+
+    /// Poll the cursor at the machine's current (re-based) sim time,
+    /// appending a frame when a snapshot interval elapsed.
+    fn observe(&mut self, sink: &Sink, now: SimTime) {
+        let abs = self.base_ps + now.as_picos();
+        self.last_ps = self.last_ps.max(abs);
+        if let Some(frame) = self.cursor.poll(sink, SimTime::from_picos(abs)) {
+            self.write(&frame.to_jsonl());
+        }
+    }
+
+    /// Emit the final unconditional frame and surface any stashed I/O
+    /// error; returns the total frame count on success.
+    fn finish(&mut self, sink: &Sink) -> Result<u64, std::io::Error> {
+        let frame = self.cursor.flush(sink, SimTime::from_picos(self.last_ps));
+        self.write(&frame.to_jsonl());
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.frames),
+        }
+    }
+
+    fn write(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        use std::io::Write as _;
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.frames += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
 }
 
 static JSON_MODE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
@@ -234,7 +347,13 @@ fn fig1() {
     print!("{}", t.render());
 }
 
-fn figure(scn: &Scenario, name: &str, model: CpuModel, full: bool) {
+fn figure(
+    scn: &Scenario,
+    name: &str,
+    model: CpuModel,
+    full: bool,
+    stream: Option<&mut StreamWriter>,
+) {
     let spec = model.spec();
     banner(&format!(
         "{}: safe/unsafe characterization of {} ({}, microcode {:#x})",
@@ -243,8 +362,16 @@ fn figure(scn: &Scenario, name: &str, model: CpuModel, full: bool) {
         spec.name,
         spec.microcode
     ));
-    let run: CharacterizationRun =
-        experiments::figure_characterization(scn, model, full).expect("sweep completes");
+    let run: CharacterizationRun = match stream {
+        Some(w) => {
+            w.begin_experiment();
+            experiments::figure_characterization_observed(scn, model, full, &mut |m| {
+                w.observe(m.telemetry(), m.now());
+            })
+        }
+        None => experiments::figure_characterization(scn, model, full),
+    }
+    .expect("sweep completes");
     if emit_json(name, &run.map) {
         return;
     }

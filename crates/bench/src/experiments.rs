@@ -95,9 +95,25 @@ pub fn figure_characterization(
     model: CpuModel,
     full: bool,
 ) -> Result<CharacterizationRun, CharacterizeError> {
+    figure_characterization_observed(scn, model, full, &mut |_| {})
+}
+
+/// [`figure_characterization`] with a per-frequency progress observer —
+/// the `repro --stream` hook (see
+/// [`plugvolt::characterize::characterize_observed`]).
+///
+/// # Errors
+///
+/// Propagates config or machine errors from the sweep.
+pub fn figure_characterization_observed(
+    scn: &Scenario,
+    model: CpuModel,
+    full: bool,
+    observe: &mut dyn FnMut(&Machine),
+) -> Result<CharacterizationRun, CharacterizeError> {
     let mut machine = scn.machine(model);
     let cfg = figure_sweep_config(full);
-    characterize(&mut machine, &cfg)
+    plugvolt::characterize::characterize_observed(&mut machine, &cfg, observe)
 }
 
 /// The sweep grid used by the Figures 2–4 characterization: the paper's

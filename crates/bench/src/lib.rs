@@ -10,6 +10,9 @@
 //!   Criterion benches;
 //! - [`perf`] — the deterministic in-tree perf harness behind
 //!   `plugvolt-cli bench` (writes the pinned-schema `BENCH.json`);
+//! - [`attr`] — the span-tracer attribution run behind
+//!   `plugvolt-cli bench --attr` (per-subsystem hot-path table, Chrome
+//!   trace and flamegraph exports);
 //! - [`soak`] — the `plugvolt-fuzz` differential soak fuzzer behind
 //!   `plugvolt-cli soak` (randomized campaigns, oracle invariants,
 //!   auto-shrunk reproducer corpus);
@@ -21,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod experiments;
 pub mod perf;
 pub mod scenario;

@@ -31,11 +31,12 @@ use std::time::Instant;
 pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// Bench names every well-formed report must contain, in report order.
-pub const REQUIRED_BENCHES: [&str; 4] = [
+pub const REQUIRED_BENCHES: [&str; 5] = [
     "characterize-grid",
     "run-table2",
     "queue-schedule-pop",
     "queue-cancel-heavy",
+    "span-overhead",
 ];
 
 /// One timed workload.
@@ -162,6 +163,7 @@ pub fn run(smoke: bool) -> BenchReport {
         bench_table2(smoke),
         bench_queue_schedule_pop(smoke),
         bench_queue_cancel_heavy(smoke),
+        bench_span_overhead(smoke),
     ];
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
@@ -258,6 +260,40 @@ fn bench_table2(smoke: bool) -> BenchRow {
     BenchRow {
         name: "run-table2".to_owned(),
         work_units: table_b.rows.len() as u64,
+        baseline_ns: Some(baseline_ns),
+        measured_ns,
+        speedup: Some(baseline_ns as f64 / measured_ns as f64),
+    }
+}
+
+/// Span-tracer overhead: the Table 2 suite with span tracing off
+/// (baseline arm, the default configuration) vs on (measured arm).
+///
+/// Unlike the other rows this gates a *cost ceiling*, not a win: the
+/// ratio is expected to sit near (and slightly below) 1.0, and the
+/// decay gate trips if instrumentation on the hot paths ever makes the
+/// traced run more than ~2× slower relative to the committed report.
+/// The machines inside `run_table2` boot private sinks whose tracers
+/// read [`plugvolt_telemetry::span_tracing_default`], so flipping the
+/// global default is what arms the measured run.
+fn bench_span_overhead(smoke: bool) -> BenchRow {
+    let cfg = OverheadConfig {
+        work_divisor: if smoke { 100 } else { 1 },
+        ..OverheadConfig::default()
+    };
+    let _warm = slack::shared_table(cfg.model);
+    let reps = if smoke { 1 } else { 3 };
+    let (baseline_ns, table_off) = time_best(reps, || run_table2(&cfg).expect("table2 completes"));
+    plugvolt_telemetry::set_span_tracing_default(true);
+    let (measured_ns, table_on) = time_best(reps, || run_table2(&cfg).expect("table2 completes"));
+    plugvolt_telemetry::set_span_tracing_default(false);
+    assert_eq!(
+        table_off, table_on,
+        "span tracing changed Table 2 results (recording must stay sim-cost-free)"
+    );
+    BenchRow {
+        name: "span-overhead".to_owned(),
+        work_units: table_on.rows.len() as u64,
         baseline_ns: Some(baseline_ns),
         measured_ns,
         speedup: Some(baseline_ns as f64 / measured_ns as f64),

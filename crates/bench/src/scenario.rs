@@ -33,7 +33,7 @@
 //! module (and test code) is flagged.
 
 use plugvolt::characterize::{
-    analytic_map, characterize_sharded, CharacterizationRun, CharacterizeError, SweepConfig,
+    analytic_map, characterize_sharded_traced, CharacterizationRun, CharacterizeError, SweepConfig,
 };
 use plugvolt::charmap::CharacterizationMap;
 use plugvolt::deploy::{deploy, Deployed, Deployment};
@@ -174,7 +174,15 @@ impl Scenario {
         cfg: &SweepConfig,
         workers: usize,
     ) -> Result<CharacterizationRun, CharacterizeError> {
-        characterize_sharded(model, self.root_seed, cfg, workers)
+        // With an attached sink whose tracer is enabled, shard span
+        // snapshots merge into it in frequency order (worker-count
+        // independent, like the records).
+        let tracer = self
+            .telemetry
+            .as_ref()
+            .map(plugvolt_telemetry::Sink::tracer)
+            .filter(|t| t.is_enabled());
+        characterize_sharded_traced(model, self.root_seed, cfg, workers, tracer)
     }
 
     /// Deploys a countermeasure level on a machine (the S2 step),

@@ -583,6 +583,18 @@ fn run_level(
             })
     });
 
+    // A scenario sink watches campaign machines too: the local sink's
+    // span aggregates (non-empty only when span tracing is enabled,
+    // e.g. by `plugvolt-cli soak --stream`) merge into the scenario
+    // tracer in judge order — deterministic, because an attached sink
+    // forces the sequential campaign path.
+    if let Some(scn_sink) = scn.telemetry() {
+        let spans = sink.tracer().snapshot();
+        if !spans.is_empty() {
+            scn_sink.tracer().absorb(&spans);
+        }
+    }
+
     Ok(RunRecord {
         level,
         steps,
@@ -867,6 +879,26 @@ pub fn run_soak(
     cfg: &SoakConfig,
     corpus_dir: Option<&Path>,
 ) -> Result<SoakReport, SoakError> {
+    run_soak_streaming(scn, cfg, corpus_dir, None)
+}
+
+/// [`run_soak`] with a streaming progress observer: `progress` is
+/// invoked with the number of completed campaigns after each one, on
+/// the caller thread (streaming runs are sequential — the observer
+/// typically polls a [`plugvolt_telemetry::StreamCursor`] against the
+/// scenario sink and writes JSONL frames). Campaign progress counters
+/// (`soak/campaigns`, `soak/cells`, `soak/violations`) are emitted on
+/// the scenario sink as the run advances, so frames carry real deltas.
+///
+/// # Errors
+///
+/// Same as [`run_soak`].
+pub fn run_soak_streaming(
+    scn: &Scenario,
+    cfg: &SoakConfig,
+    corpus_dir: Option<&Path>,
+    mut progress: Option<&mut dyn FnMut(u32)>,
+) -> Result<SoakReport, SoakError> {
     let map = scn.quick_map(cfg.model);
     let spec = cfg.model.spec();
 
@@ -888,55 +920,68 @@ pub fn run_soak(
         .collect();
 
     // Stage 3: run them differentially, shrink any violation.
-    let outcomes: Vec<Option<ShrunkViolation>> = run_cells(
-        scn,
-        cfg.workers,
-        schedules.len(),
-        |scn, i| -> Result<Option<ShrunkViolation>, SoakError> {
-            let schedule = &schedules[i];
-            if let Some(sink) = scn.telemetry() {
-                let at = SimTime::ZERO + SimDuration::from_micros(i as u64);
-                sink.emit(
-                    at,
-                    TelemetryEvent::SoakCampaign {
-                        campaign: i as u64,
-                        family: AttackFamily::ALL
-                            .iter()
-                            .position(|f| *f == schedule.family)
-                            .unwrap_or(0) as u8,
-                        events: schedule.len() as u32,
-                    },
-                );
+    let campaign = |scn: &Scenario, i: usize| -> Result<Option<ShrunkViolation>, SoakError> {
+        let schedule = &schedules[i];
+        if let Some(sink) = scn.telemetry() {
+            let at = SimTime::ZERO + SimDuration::from_micros(i as u64);
+            sink.emit(
+                at,
+                TelemetryEvent::SoakCampaign {
+                    campaign: i as u64,
+                    family: AttackFamily::ALL
+                        .iter()
+                        .position(|f| *f == schedule.family)
+                        .unwrap_or(0) as u8,
+                    events: schedule.len() as u32,
+                },
+            );
+        }
+        let violation = judge_campaign(scn, cfg.model, &map, schedule, None)?;
+        if let Some(sink) = scn.telemetry() {
+            let at = SimTime::ZERO + SimDuration::from_micros(i as u64);
+            let (oracle, ok) = violation
+                .as_ref()
+                .map_or((0, true), |v| (v.oracle_index(), false));
+            sink.emit(
+                at,
+                TelemetryEvent::SoakOracle {
+                    campaign: i as u64,
+                    oracle,
+                    ok,
+                },
+            );
+            sink.add(MetricKey::global("soak", "campaigns"), 1);
+            sink.add(MetricKey::global("soak", "cells"), LEVELS.len() as u64);
+            if violation.is_some() {
+                sink.add(MetricKey::global("soak", "violations"), 1);
             }
-            let violation = judge_campaign(scn, cfg.model, &map, schedule, None)?;
-            if let Some(sink) = scn.telemetry() {
-                let at = SimTime::ZERO + SimDuration::from_micros(i as u64);
-                let (oracle, ok) = violation
-                    .as_ref()
-                    .map_or((0, true), |v| (v.oracle_index(), false));
-                sink.emit(
-                    at,
-                    TelemetryEvent::SoakOracle {
-                        campaign: i as u64,
-                        oracle,
-                        ok,
-                    },
-                );
+        }
+        let Some(v) = violation else { return Ok(None) };
+        let (reproducer, violation, shrink_evals) =
+            shrink(scn, cfg.model, &map, schedule, v, None, cfg.shrink_budget)?;
+        Ok(Some(ShrunkViolation {
+            campaign: i as u32,
+            family: schedule.family,
+            violation,
+            original_events: schedule.len(),
+            shrink_evals,
+            reproducer,
+            corpus_file: None,
+        }))
+    };
+    let outcomes: Vec<Option<ShrunkViolation>> = match progress.as_deref_mut() {
+        // Streaming: sequential by construction, frame after each
+        // campaign.
+        Some(observe) => {
+            let mut out = Vec::with_capacity(schedules.len());
+            for i in 0..schedules.len() {
+                out.push(campaign(scn, i)?);
+                observe(i as u32 + 1);
             }
-            let Some(v) = violation else { return Ok(None) };
-            let (reproducer, violation, shrink_evals) =
-                shrink(scn, cfg.model, &map, schedule, v, None, cfg.shrink_budget)?;
-            Ok(Some(ShrunkViolation {
-                campaign: i as u32,
-                family: schedule.family,
-                violation,
-                original_events: schedule.len(),
-                shrink_evals,
-                reproducer,
-                corpus_file: None,
-            }))
-        },
-    )?;
+            out
+        }
+        None => run_cells(scn, cfg.workers, schedules.len(), campaign)?,
+    };
     let mut violations: Vec<ShrunkViolation> = outcomes.into_iter().flatten().collect();
 
     // Stage 4: the self-test — inject the weakened poller and demand

@@ -340,6 +340,24 @@ pub fn characterize(
     machine: &mut Machine,
     cfg: &SweepConfig,
 ) -> Result<CharacterizationRun, CharacterizeError> {
+    characterize_observed(machine, cfg, &mut |_| {})
+}
+
+/// [`characterize`] with a progress observer: `observe` is invoked with
+/// the machine after every completed frequency sweep, with the sim
+/// clock advanced past that sweep. This is the streaming-telemetry
+/// hook — a [`plugvolt_telemetry::StreamCursor`] polled here produces
+/// sim-time-gated snapshot frames during long sweeps instead of one
+/// profile dump at exit.
+///
+/// # Errors
+///
+/// Same as [`characterize`].
+pub fn characterize_observed(
+    machine: &mut Machine,
+    cfg: &SweepConfig,
+    observe: &mut dyn FnMut(&Machine),
+) -> Result<CharacterizationRun, CharacterizeError> {
     cfg.validate()?;
 
     let started = machine.now();
@@ -361,6 +379,7 @@ pub fn characterize(
         records.extend(sweep.records);
         crashes += sweep.crashes;
         map.insert_band(freq, sweep.band);
+        observe(machine);
     }
 
     // Restore the original operating point (Algorithm 2 lines 13–14).
@@ -415,17 +434,39 @@ pub fn characterize_sharded(
     cfg: &SweepConfig,
     workers: usize,
 ) -> Result<CharacterizationRun, CharacterizeError> {
+    characterize_sharded_traced(model, root_seed, cfg, workers, None)
+}
+
+/// [`characterize_sharded`] with span tracing carried across the shard
+/// boundary: each shard traces into its own machine's tracer, returns a
+/// plain-data `SpanSnapshot`, and the snapshots merge into `tracer` in
+/// frequency order — so the aggregated span profile, like the records,
+/// is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Same contract as [`characterize_sharded`].
+pub fn characterize_sharded_traced(
+    model: CpuModel,
+    root_seed: u64,
+    cfg: &SweepConfig,
+    workers: usize,
+    tracer: Option<&plugvolt_telemetry::Tracer>,
+) -> Result<CharacterizationRun, CharacterizeError> {
     cfg.validate()?;
     let spec = model.spec();
     let freqs = sweep_frequencies(&spec, cfg);
     let workers = workers.clamp(1, freqs.len().max(1));
+    let trace = tracer.is_some_and(|t| t.is_enabled());
 
     // One result slot per frequency; workers claim shard indices from a
     // shared counter. `Machine` is not `Send`, so each shard constructs
     // (and drops) its machine entirely inside its worker thread — only
-    // the plain-data sweep results cross back.
+    // the plain-data sweep results (and span snapshots) cross back.
+    type ShardResult =
+        Result<(FreqSweep, SimDuration, plugvolt_telemetry::SpanSnapshot), MachineError>;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Result<(FreqSweep, SimDuration), MachineError>>>> =
+    let slots: Vec<std::sync::Mutex<Option<ShardResult>>> =
         freqs.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
@@ -435,7 +476,7 @@ pub fn characterize_sharded(
                 let Some(&freq) = freqs.get(i) else {
                     break;
                 };
-                let result = sweep_shard(model, root_seed, cfg, freq);
+                let result = sweep_shard(model, root_seed, cfg, freq, trace);
                 *slots[i].lock().expect("shard slot poisoned") = Some(result);
             });
         }
@@ -455,11 +496,17 @@ pub fn characterize_sharded(
             .into_inner()
             .expect("shard slot poisoned")
             .expect("every shard index was claimed by a worker");
-        let (sweep, shard_duration) = result.map_err(CharacterizeError::Machine)?;
+        let (sweep, shard_duration, spans) = result.map_err(CharacterizeError::Machine)?;
         records.extend(sweep.records);
         crashes += sweep.crashes;
         duration += shard_duration;
         map.insert_band(*freq, sweep.band);
+        if let Some(t) = tracer {
+            // Frequency order, like the records: first-seen node
+            // creation (and the aggregate totals) stay worker-count
+            // independent.
+            t.absorb(&spans);
+        }
     }
     Ok(CharacterizationRun {
         map,
@@ -476,19 +523,21 @@ fn sweep_shard(
     root_seed: u64,
     cfg: &SweepConfig,
     freq: FreqMhz,
-) -> Result<(FreqSweep, SimDuration), MachineError> {
+    trace: bool,
+) -> Result<(FreqSweep, SimDuration, plugvolt_telemetry::SpanSnapshot), MachineError> {
     // Shard machines are the engine's own: each frequency gets a fresh
     // boot from a derived labelled seed, which is what makes the merge
     // worker-count-independent. Constructing them here (not through the
     // bench Scenario layer) is the point, not an oversight.
     // plugvolt-lint: allow(machine-construction-discipline)
     let mut machine = Machine::new(model, derive_seed(root_seed, &shard_label(freq)));
+    machine.telemetry().tracer().set_enabled(trace);
     let started = machine.now();
     let mut cpupower = CpuPower::new(&machine);
     let dev = MsrDev::open(&machine, cfg.execute_core)?;
     let sweep = sweep_one_frequency(&mut machine, &mut cpupower, &dev, cfg, freq)?;
     let duration = machine.now().saturating_duration_since(started);
-    Ok((sweep, duration))
+    Ok((sweep, duration, machine.telemetry().tracer().snapshot()))
 }
 
 /// Tests one (frequency, offset) grid point: write the offset through
@@ -500,24 +549,44 @@ fn test_point(
     _freq: FreqMhz,
     offset_mv: i32,
 ) -> Result<u64, MachineError> {
+    // Guards own tracer clones, so each phase closes when its block
+    // ends (including the early `?` returns).
+    let tracer = machine.telemetry().tracer().clone();
+    let _point = tracer.span("characterize/point");
+
     let req = OcRequest::write_offset(offset_mv, Plane::Core).encode();
-    dev.write(machine, Msr::OC_MAILBOX, req)?;
-    settle(machine);
+    {
+        let _write = tracer.span("characterize/offset-write");
+        dev.write(machine, Msr::OC_MAILBOX, req)?;
+    }
+    {
+        let _settle = tracer.span("characterize/settle");
+        settle(machine);
+    }
 
     // EXECUTE thread: one million imuls with varying operands. It runs
     // in parallel with (and unblocked by) the DVFS thread; its wall time
     // advances the machine clock.
     let core = cfg.execute_core;
     let now = machine.now();
-    let faults_result = machine.cpu_mut().run_imul_loop(now, core, cfg.imul_iters);
-    let freq_now = machine.cpu().core_freq(core).unwrap_or(FreqMhz(1_000));
-    machine.advance(SimDuration::from_cycles(cfg.imul_iters, freq_now.mhz()));
-    let faults = faults_result.map_err(MachineError::from)?;
+    let faults = {
+        let _execute = tracer.span("characterize/execute");
+        let faults_result = machine.cpu_mut().run_imul_loop(now, core, cfg.imul_iters);
+        let freq_now = machine.cpu().core_freq(core).unwrap_or(FreqMhz(1_000));
+        machine.advance(SimDuration::from_cycles(cfg.imul_iters, freq_now.mhz()));
+        faults_result.map_err(MachineError::from)?
+    };
 
     // Restore the offset before the next grid point.
     let restore = OcRequest::write_offset(0, Plane::Core).encode();
-    dev.write(machine, Msr::OC_MAILBOX, restore)?;
-    settle(machine);
+    {
+        let _write = tracer.span("characterize/offset-write");
+        dev.write(machine, Msr::OC_MAILBOX, restore)?;
+    }
+    {
+        let _settle = tracer.span("characterize/settle");
+        settle(machine);
+    }
     Ok(faults)
 }
 

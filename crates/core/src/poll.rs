@@ -217,6 +217,8 @@ impl PollingModule {
     /// Polls one core; returns the per-plane observations it made.
     fn poll_core(&mut self, ctx: &mut ModuleCtx<'_>, core: CoreId) -> Vec<(Plane, SystemState)> {
         ctx.charge(core, self.cfg.timer_overhead);
+        ctx.tracer()
+            .record_span("poll/overhead", self.cfg.timer_overhead.as_picos());
         // Algorithm 3 line 4: read 0x198, locally.
         let Ok(perf) = ctx.rdmsr_local(core, Msr::IA32_PERF_STATUS) else {
             return Vec::new();
@@ -280,6 +282,9 @@ impl KernelModule for PollingModule {
     }
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>) -> Option<SimDuration> {
+        // The guard owns a tracer clone, so it outlives this borrow of
+        // `ctx` and closes when the whole iteration is done.
+        let _iteration = ctx.tracer().span("poll/iteration");
         self.stats.borrow_mut().ticks += 1;
         let cores = ctx.cpu().core_count();
         let restore_mv = self.restore_offset_mv();

@@ -691,6 +691,9 @@ impl CpuPackage {
     }
 
     fn retarget_rail(&mut self, now: SimTime, settle: SimDuration) {
+        // Slew churn is attributed, not costed: the VR retarget itself
+        // happens off-core.
+        self.telemetry.tracer().record_span("vr/retarget", 0);
         self.checkpoint_energy(now);
         let demand = self.demand_freq();
         let offset =

@@ -17,7 +17,7 @@ use plugvolt_des::time::{SimDuration, SimTime};
 use plugvolt_des::trace::{TraceBuffer, TraceLevel};
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::file::WriteOutcome;
-use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink};
+use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink, Tracer};
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -97,6 +97,7 @@ impl ModuleCtx<'_> {
         let cost = self.access_cost(core);
         self.note_access_cost(core, cost);
         self.charge(core, cost);
+        self.record_span("msr/access", cost);
         self.cpu.rdmsr(self.now, core, msr)
     }
 
@@ -114,6 +115,7 @@ impl ModuleCtx<'_> {
         let cost = self.access_cost(core);
         self.note_access_cost(core, cost);
         self.charge(core, cost);
+        self.record_span("msr/access", cost);
         self.cpu.wrmsr(self.now, core, msr, value)
     }
 
@@ -128,6 +130,7 @@ impl ModuleCtx<'_> {
         let cost = self.local_access_cost(core);
         self.note_access_cost(core, cost);
         self.charge(core, cost);
+        self.record_span("msr/access", cost);
         self.cpu.rdmsr(self.now, core, msr)
     }
 
@@ -145,6 +148,7 @@ impl ModuleCtx<'_> {
         let cost = self.local_access_cost(core);
         self.note_access_cost(core, cost);
         self.charge(core, cost);
+        self.record_span("msr/access", cost);
         self.cpu.wrmsr(self.now, core, msr, value)
     }
 
@@ -168,6 +172,22 @@ impl ModuleCtx<'_> {
             *slot += cost;
             self.cpu.note_stolen(core, cost.as_picos());
         }
+    }
+
+    /// The span tracer shared with the machine's telemetry sink, for
+    /// modules opening their own spans (e.g. the poll loop).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        self.cpu.telemetry().tracer()
+    }
+
+    /// Point-records `cost` of simulated time under span `label`
+    /// (see `Tracer::record_span`); free when tracing is disabled.
+    fn record_span(&self, label: &'static str, cost: SimDuration) {
+        self.cpu
+            .telemetry()
+            .tracer()
+            .record_span(label, cost.as_picos());
     }
 
     /// Emits a trace record attributed to this module.
@@ -352,6 +372,10 @@ impl Machine {
     /// into the telemetry registry. Call once per machine, after its
     /// run completes (extra calls only add deltas).
     pub fn publish_trace_drops(&self) {
+        self.cpu
+            .telemetry()
+            .tracer()
+            .record_span("telemetry/flush", 0);
         let dropped = self.trace.dropped();
         if dropped > 0 {
             self.cpu.telemetry().add_trace_dropped(dropped);
@@ -452,6 +476,12 @@ impl Machine {
     }
 
     fn arm_timer(&mut self, module_idx: usize, delay: SimDuration) {
+        // Queue churn is attributed, not costed: scheduling a kernel
+        // timer is free on the sim clock.
+        self.cpu
+            .telemetry()
+            .tracer()
+            .record_span("queue/schedule", 0);
         let seq = self.timer_seq;
         self.timer_seq += 1;
         self.timers.push(PendingTimer {
@@ -481,6 +511,9 @@ impl Machine {
 
     /// Advances the clock to `horizon`, firing due module timers in order.
     pub fn advance_to(&mut self, horizon: SimTime) {
+        // `with_module` needs `&mut self`, so hold the tracer by clone
+        // (it is an `Rc` handle onto the sink's shared span tree).
+        let tracer = self.cpu.telemetry().tracer().clone();
         while let Some(t) = self.timers.peek() {
             if t.at > horizon {
                 break;
@@ -490,10 +523,13 @@ impl Machine {
                 continue;
             }
             self.now = timer.at;
+            tracer.set_sim_now(self.now);
+            let span = tracer.span("kernel/timer");
             let steal_before: SimDuration = self.stolen.iter().copied().sum();
             if let Some(next) = self.with_module(timer.module_idx, |m, ctx| m.on_timer(ctx)) {
                 self.arm_timer(timer.module_idx, next);
             }
+            drop(span);
             let steal_after: SimDuration = self.stolen.iter().copied().sum();
             let iteration = steal_after.saturating_sub(steal_before);
             self.cpu.telemetry().observe(
@@ -504,6 +540,7 @@ impl Machine {
         }
         if horizon > self.now {
             self.now = horizon;
+            tracer.set_sim_now(self.now);
         }
     }
 

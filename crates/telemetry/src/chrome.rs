@@ -1,0 +1,143 @@
+//! Trace exporters: Chrome trace-event JSON and collapsed-stack
+//! flamegraph text, both built **only** from the deterministic
+//! sim-time channel of [`crate::span::Tracer`].
+//!
+//! The Chrome export follows the Trace Event Format's "JSON object"
+//! flavor — a `traceEvents` array of `ph: "X"` complete events — and
+//! loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Timestamps (`ts`) and durations (`dur`) are
+//! microseconds; the tracer stores picoseconds, so values are divided
+//! by `1e6` into `f64`s whose shortest-round-trip formatting keeps the
+//! artifact byte-deterministic. Wall-clock data never enters either
+//! export, so both are safe to pin in snapshot tests.
+//!
+//! The collapsed-stack format is one `path value` line per aggregate
+//! row (`;`-joined span labels, then the self sim-time), the input
+//! format of Brendan Gregg's `flamegraph.pl` and of speedscope.
+
+use crate::span::{SpanEvent, SpanRow, SPAN_SCHEMA_VERSION};
+use serde_json::{json, Value};
+
+/// Renders captured span events as Chrome trace-event JSON (compact,
+/// one allocation-free pass over `events`). `process_name` labels the
+/// single sim process in the trace viewer's track header.
+#[must_use]
+pub fn chrome_trace_json(events: &[SpanEvent], process_name: &str) -> String {
+    let mut trace_events: Vec<Value> = Vec::with_capacity(events.len() + 1);
+    // Metadata event naming the one (pid=1, tid=1) sim track.
+    trace_events.push(json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "args": { "name": process_name }
+    }));
+    for ev in events {
+        trace_events.push(json!({
+            "name": (ev.label),
+            "cat": "sim",
+            "ph": "X",
+            "ts": (ev.start_ps as f64 / 1e6),
+            "dur": (ev.dur_ps as f64 / 1e6),
+            "pid": 1,
+            "tid": 1,
+            "args": { "depth": (ev.depth) }
+        }));
+    }
+    json!({
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "sim",
+            "schema_version": SPAN_SCHEMA_VERSION
+        }
+    })
+    .to_json()
+}
+
+/// Renders aggregate rows as collapsed-stack flamegraph text: one
+/// `path self_ps` line per row with nonzero self time, sorted by path
+/// for determinism. Feed to `flamegraph.pl` or paste into speedscope.
+#[must_use]
+pub fn flamegraph_collapsed(rows: &[SpanRow]) -> String {
+    let mut lines: Vec<String> = rows
+        .iter()
+        .filter(|r| r.self_ps > 0)
+        .map(|r| format!("{} {}", r.path, r.self_ps))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+    use plugvolt_des::time::{SimDuration, SimTime};
+
+    fn traced() -> Tracer {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.enable_capture(64);
+        t.set_sim_now(SimTime::ZERO);
+        {
+            let _g = t.span("outer");
+            t.set_sim_now(SimTime::ZERO + SimDuration::from_picos(2_000_000));
+            t.record_span("leaf", 500_000);
+        }
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let t = traced();
+        let text = chrome_trace_json(&t.capture(), "unit");
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = v
+            .get_field("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // Metadata event + leaf + outer (completion order).
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get_field("ph").and_then(Value::as_str),
+            Some("M"),
+            "first event is process metadata"
+        );
+        let outer = &events[2];
+        assert_eq!(
+            outer.get_field("name").and_then(Value::as_str),
+            Some("outer")
+        );
+        assert_eq!(outer.get_field("ph").and_then(Value::as_str), Some("X"));
+        // 2_000_000 ps = 2 µs.
+        assert_eq!(outer.get_field("dur").and_then(Value::as_f64), Some(2.0));
+        assert!(!text.contains("wall"), "wall channel excluded: {text}");
+    }
+
+    #[test]
+    fn flamegraph_lines_sort_and_carry_self_time() {
+        let t = traced();
+        // outer total = 2_000_000 ps sim delta + 500_000 ps attributed
+        // in the subtree; self excludes only the child's total.
+        let text = flamegraph_collapsed(&t.rows());
+        assert_eq!(text, "outer 2000000\nouter;leaf 500000\n");
+    }
+
+    #[test]
+    fn empty_capture_still_produces_loadable_trace() {
+        let text = chrome_trace_json(&[], "empty");
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            v.get_field("traceEvents")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(flamegraph_collapsed(&[]), "");
+    }
+}

@@ -15,6 +15,12 @@
 //!
 //! Keep entries sorted by `(component, name)`; the unit test pins that
 //! plus uniqueness.
+//!
+//! Span labels (see [`crate::span::Tracer`]) are part of the same
+//! statically checked observability surface: every label a
+//! cpu/kernel/core `span(…)`/`record_span(…)` site uses must appear in
+//! [`REGISTERED_SPANS`], cross-checked by the same lint rule. Labels
+//! are `component/what` paths; keep the list sorted.
 
 /// How a registered metric aggregates observations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,10 +162,84 @@ pub const REGISTERED_KEYS: &[KeyDecl] = &[
     ),
 ];
 
+/// One registered span label.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanDecl {
+    /// The `component/what` label passed to `Tracer::span` /
+    /// `Tracer::record_span`.
+    pub label: &'static str,
+    /// What the span covers, for docs and table footers.
+    pub doc: &'static str,
+}
+
+const fn span(label: &'static str, doc: &'static str) -> SpanDecl {
+    SpanDecl { label, doc }
+}
+
+/// Every span label the cpu/kernel/core crates emit, sorted by label.
+pub const REGISTERED_SPANS: &[SpanDecl] = &[
+    span(
+        "characterize/execute",
+        "faulted-imul execution window of one grid point (run_imul_loop plus its advance)",
+    ),
+    span(
+        "characterize/offset-write",
+        "voltage-plane offset write opening one grid point, including mailbox latency",
+    ),
+    span(
+        "characterize/point",
+        "one (frequency, offset) grid point of the characterization sweep, end to end",
+    ),
+    span(
+        "characterize/settle",
+        "VR settle window between the offset write and the measured execution",
+    ),
+    span(
+        "kernel/timer",
+        "one kernel timer firing dispatched by Machine::advance_to",
+    ),
+    span(
+        "msr/access",
+        "explicitly charged MSR access cost (rdmsr/wrmsr, IPI and local), point-recorded",
+    ),
+    span(
+        "poll/iteration",
+        "one countermeasure poll iteration across all watched cores",
+    ),
+    span(
+        "poll/overhead",
+        "fixed per-iteration timer overhead charged before the MSR sweep, point-recorded",
+    ),
+    span(
+        "queue/schedule",
+        "timer-queue push churn (arm_timer), point-recorded with zero sim cost",
+    ),
+    span(
+        "telemetry/flush",
+        "end-of-run publish of batched hot counters and drop totals, point-recorded",
+    ),
+    span(
+        "vr/retarget",
+        "VR rail slew retarget churn, point-recorded with zero sim cost",
+    ),
+];
+
 /// Whether `(component, name)` is a declared key.
 #[must_use]
 pub fn is_registered(component: &str, name: &str) -> bool {
     lookup(component, name).is_some()
+}
+
+/// Whether `label` is a declared span label.
+#[must_use]
+pub fn is_registered_span(label: &str) -> bool {
+    lookup_span(label).is_some()
+}
+
+/// The declaration for span `label`, if registered.
+#[must_use]
+pub fn lookup_span(label: &str) -> Option<&'static SpanDecl> {
+    REGISTERED_SPANS.iter().find(|s| s.label == label)
 }
 
 /// The declaration for `(component, name)`, if registered.
@@ -194,5 +274,26 @@ mod tests {
         assert_eq!(decl.scope, KeyScope::Both);
         assert_eq!(decl.kind, KeyKind::Histogram);
         assert!(REGISTERED_KEYS.iter().all(|k| !k.doc.is_empty()));
+    }
+
+    #[test]
+    fn spans_sorted_unique_and_documented() {
+        let labels: Vec<&str> = REGISTERED_SPANS.iter().map(|s| s.label).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(labels, sorted, "span registry must be sorted and unique");
+        assert!(REGISTERED_SPANS.iter().all(|s| !s.doc.is_empty()));
+        assert!(
+            REGISTERED_SPANS.iter().all(|s| s.label.contains('/')),
+            "span labels are component/what paths"
+        );
+    }
+
+    #[test]
+    fn span_lookup_finds_declared_labels() {
+        assert!(is_registered_span("kernel/timer"));
+        assert!(!is_registered_span("kernel/timer_typo"));
+        assert!(lookup_span("msr/access").is_some());
     }
 }

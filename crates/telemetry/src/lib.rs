@@ -24,6 +24,14 @@
 //!    ([`profile::TelemetryProfile`]), a human-readable table, and a
 //!    VCD waveform channel ([`export::events_to_vcd`]) reusing
 //!    `plugvolt_des::vcd`.
+//! 4. **A span tracer and self-profiler** ([`span::Tracer`]): a
+//!    hierarchical `SpanGuard` API with dual accounting — a
+//!    deterministic sim-time channel (golden-eligible, byte-identical
+//!    across worker counts) and a separate, explicitly non-golden
+//!    wall-clock channel — aggregated into a pinned-schema
+//!    [`span::SpanProfile`], exported as Chrome trace-event JSON or
+//!    collapsed-stack flamegraph text ([`chrome`]), and streamed as
+//!    periodic JSONL snapshot frames ([`stream`]).
 //!
 //! Recording is free on the simulation clock: no sink method charges
 //! stolen time or schedules events, so an instrumented run is
@@ -32,16 +40,25 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod event;
 pub mod export;
 pub mod keys;
 pub mod profile;
 pub mod registry;
+pub mod span;
+pub mod stream;
 
+pub use chrome::{chrome_trace_json, flamegraph_collapsed};
 pub use event::{TelemetryEvent, TimedEvent};
 pub use export::events_to_vcd;
-pub use keys::{KeyDecl, KeyKind, KeyScope, REGISTERED_KEYS};
+pub use keys::{KeyDecl, KeyKind, KeyScope, SpanDecl, REGISTERED_KEYS, REGISTERED_SPANS};
 pub use profile::{TelemetryProfile, SCHEMA_VERSION};
 pub use registry::{
     hot_path_enabled, set_hot_path_enabled, HistogramSpec, MetricKey, Registry, Sink,
 };
+pub use span::{
+    set_span_tracing_default, span_tracing_default, SpanEvent, SpanGuard, SpanProfile,
+    SpanProfileRow, SpanRow, SpanSnapshot, Tracer, SPAN_SCHEMA_VERSION,
+};
+pub use stream::{CounterDelta, StreamCursor, StreamFrame, STREAM_SCHEMA_VERSION};

@@ -15,7 +15,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Version of the profile JSON layout. Bump on any breaking change.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `spans_dropped` (span capture-buffer overflow accounting,
+/// see [`crate::span::Tracer::dropped`]).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One exported counter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -128,6 +131,10 @@ pub struct TelemetryProfile {
     pub events_dropped: u64,
     /// Trace records silently dropped by `TraceBuffer`s during the run.
     pub trace_dropped: u64,
+    /// Span records dropped by the tracer's bounded capture buffer
+    /// (schema v2; zero when profiling a bare [`Registry`], which has
+    /// no tracer — [`Sink::profile`] fills it in).
+    pub spans_dropped: u64,
 }
 
 impl TelemetryProfile {
@@ -198,6 +205,7 @@ impl TelemetryProfile {
             events: registry.events().cloned().collect(),
             events_dropped: registry.events_dropped(),
             trace_dropped: registry.trace_dropped(),
+            spans_dropped: 0,
         }
     }
 
@@ -301,10 +309,11 @@ impl TelemetryProfile {
         }
         let _ = writeln!(
             out,
-            "\nevents: {} retained, {} dropped; trace records dropped: {}",
+            "\nevents: {} retained, {} dropped; trace records dropped: {}; spans dropped: {}",
             self.events.len(),
             self.events_dropped,
-            self.trace_dropped
+            self.trace_dropped,
+            self.spans_dropped
         );
         for e in &self.events {
             let _ = writeln!(out, "  [{}] {}", e.at, e.event);
@@ -321,10 +330,13 @@ fn core_label(core: Option<u32>) -> String {
 }
 
 impl Sink {
-    /// Snapshots the shared registry into a [`TelemetryProfile`].
+    /// Snapshots the shared registry into a [`TelemetryProfile`],
+    /// folding in the sink tracer's span-drop accounting.
     #[must_use]
     pub fn profile(&self, experiment: &str) -> TelemetryProfile {
-        self.with(|r| TelemetryProfile::from_registry(r, experiment))
+        let mut p = self.with(|r| TelemetryProfile::from_registry(r, experiment));
+        p.spans_dropped = self.tracer().dropped();
+        p
     }
 }
 
@@ -404,8 +416,20 @@ mod tests {
         r.add_trace_dropped(3);
         let p = TelemetryProfile::from_registry(&r, "unit");
         let table = p.render_table();
-        assert!(table.contains("trace records dropped: 3"));
-        assert!(table.starts_with("telemetry profile: unit (schema v1)"));
+        assert!(table.contains("trace records dropped: 3; spans dropped: 0"));
+        assert!(table.starts_with("telemetry profile: unit (schema v2)"));
+    }
+
+    #[test]
+    fn sink_profile_surfaces_span_drops() {
+        let sink = Sink::new();
+        sink.tracer().set_enabled(true);
+        sink.tracer().enable_capture(1);
+        sink.tracer().record_span("unit/a", 1);
+        sink.tracer().record_span("unit/b", 1);
+        let p = sink.profile("unit");
+        assert_eq!(p.spans_dropped, 1);
+        assert!(p.render_table().contains("spans dropped: 1"));
     }
 
     #[test]

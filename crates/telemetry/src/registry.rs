@@ -6,6 +6,7 @@
 //! `no-unordered-iteration` guarantee intact end to end.
 
 use crate::event::{TelemetryEvent, TimedEvent};
+use crate::span::Tracer;
 use plugvolt_des::stats::{Histogram, Summary};
 use plugvolt_des::time::SimTime;
 use std::borrow::Cow;
@@ -332,6 +333,10 @@ impl Registry {
 #[derive(Debug, Clone, Default)]
 pub struct Sink {
     inner: Rc<RefCell<Registry>>,
+    /// The span tracer shared by every clone of this sink. A fresh
+    /// sink's tracer starts enabled or disabled per
+    /// [`crate::span::span_tracing_default`].
+    tracer: Tracer,
 }
 
 impl Sink {
@@ -346,7 +351,14 @@ impl Sink {
     pub fn with_event_capacity(capacity: usize) -> Self {
         Sink {
             inner: Rc::new(RefCell::new(Registry::with_event_capacity(capacity))),
+            tracer: Tracer::default(),
         }
+    }
+
+    /// The span tracer shared by every clone of this sink.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Increments a counter by one.

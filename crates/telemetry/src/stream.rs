@@ -1,0 +1,211 @@
+//! Streaming telemetry: periodic pinned-schema JSONL snapshot frames
+//! for long runs — the future fleet-daemon wire format.
+//!
+//! A [`StreamCursor`] watches one [`crate::Sink`] and, every
+//! `interval_ms` of **simulated** time, produces a [`StreamFrame`]
+//! carrying the counter *deltas* since the previous frame plus the
+//! current span aggregates. Frames serialize to one compact JSON line
+//! each (JSONL), so a consumer can tail the stream incrementally
+//! instead of waiting for an end-of-run profile dump.
+//!
+//! Determinism contract: frames are driven by the sim clock and carry
+//! only sim-time quantities (counters and the span sim channel), so a
+//! stream file is byte-identical across runs and worker counts for the
+//! same experiment. The wall-clock span channel never enters a frame.
+//! File IO stays with the caller (`plugvolt-cli`/`repro`); this module
+//! only renders frames.
+
+use crate::registry::Sink;
+use crate::span::{SpanProfile, SpanProfileRow};
+use plugvolt_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version of the [`StreamFrame`] JSONL layout. Bump on any breaking
+/// change.
+pub const STREAM_SCHEMA_VERSION: u32 = 1;
+
+/// One counter's movement since the previous frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterDelta {
+    /// Emitting component (`"msr"`, `"kernel"`, …).
+    pub component: String,
+    /// Metric name within the component.
+    pub name: String,
+    /// Logical core, or `None` for package-wide counters.
+    pub core: Option<u32>,
+    /// Increase since the previous frame (counters are monotonic).
+    pub delta: u64,
+}
+
+/// One periodic telemetry snapshot: registry counter deltas plus span
+/// aggregates, stamped with the simulated clock. Serializes to a
+/// single JSONL line via [`StreamFrame::to_jsonl`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamFrame {
+    /// Layout version; see [`STREAM_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Frame sequence number, starting at 0.
+    pub seq: u64,
+    /// Simulated milliseconds at frame emission.
+    pub sim_ms: u64,
+    /// Counters that moved since the previous frame, in registry
+    /// (component, name, core) order.
+    pub counters: Vec<CounterDelta>,
+    /// Current span aggregates (cumulative, sim channel only), sorted
+    /// by path.
+    pub spans: Vec<SpanProfileRow>,
+    /// Cumulative span records lost to capture-buffer overflow.
+    pub spans_dropped: u64,
+}
+
+impl StreamFrame {
+    /// Renders the frame as one compact JSON line (no trailing
+    /// newline — the writer owns line termination).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("stream frame serialization is infallible")
+    }
+}
+
+/// Incremental frame producer over one sink. Call
+/// [`StreamCursor::poll`] from the experiment loop with the current
+/// sim time; it returns `Some(frame)` whenever at least `interval_ms`
+/// of simulated time has elapsed since the previous frame (and on the
+/// very first poll, establishing the baseline frame at sequence 0).
+#[derive(Debug)]
+pub struct StreamCursor {
+    interval_ms: u64,
+    next_due_ms: Option<u64>,
+    seq: u64,
+    last_counters: BTreeMap<(String, String, Option<u32>), u64>,
+}
+
+impl StreamCursor {
+    /// A cursor emitting at most one frame per `interval_ms` of sim
+    /// time (clamped to at least 1 ms).
+    #[must_use]
+    pub fn new(interval_ms: u64) -> Self {
+        StreamCursor {
+            interval_ms: interval_ms.max(1),
+            next_due_ms: None,
+            seq: 0,
+            last_counters: BTreeMap::new(),
+        }
+    }
+
+    /// The configured frame interval in simulated milliseconds.
+    #[must_use]
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Produces the next frame if one is due at `now`; otherwise
+    /// `None`. The first poll always emits (frame 0 baselines the
+    /// counter deltas).
+    pub fn poll(&mut self, sink: &Sink, now: SimTime) -> Option<StreamFrame> {
+        let sim_ms = now.as_picos() / 1_000_000_000;
+        match self.next_due_ms {
+            Some(due) if sim_ms < due => None,
+            _ => Some(self.emit(sink, sim_ms)),
+        }
+    }
+
+    /// Unconditionally emits a frame at `now` — the end-of-run flush,
+    /// so the final counter movement is never lost to interval gating.
+    pub fn flush(&mut self, sink: &Sink, now: SimTime) -> StreamFrame {
+        self.emit(sink, now.as_picos() / 1_000_000_000)
+    }
+
+    fn emit(&mut self, sink: &Sink, sim_ms: u64) -> StreamFrame {
+        let counters = sink.with(|reg| {
+            let mut out = Vec::new();
+            for (key, value) in reg.counters() {
+                let id = (key.component.to_string(), key.name.to_string(), key.core);
+                let prev = self.last_counters.get(&id).copied().unwrap_or(0);
+                if value > prev || self.seq == 0 {
+                    out.push(CounterDelta {
+                        component: id.0.clone(),
+                        name: id.1.clone(),
+                        core: id.2,
+                        delta: value.saturating_sub(prev),
+                    });
+                }
+                self.last_counters.insert(id, value);
+            }
+            out
+        });
+        let span_profile = SpanProfile::from_tracer(sink.tracer(), "stream");
+        let frame = StreamFrame {
+            schema_version: STREAM_SCHEMA_VERSION,
+            seq: self.seq,
+            sim_ms,
+            counters,
+            spans: span_profile.spans,
+            spans_dropped: span_profile.spans_dropped,
+        };
+        self.seq += 1;
+        self.next_due_ms = Some(sim_ms + self.interval_ms);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricKey;
+    use plugvolt_des::time::SimDuration;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(ms * 1_000)
+    }
+
+    #[test]
+    fn first_poll_emits_baseline_then_gates_on_interval() {
+        let sink = Sink::new();
+        sink.add(MetricKey::global("unit", "ticks"), 3);
+        let mut cur = StreamCursor::new(10);
+        let f0 = cur.poll(&sink, at_ms(0)).expect("baseline frame");
+        assert_eq!(f0.seq, 0);
+        assert_eq!(f0.counters.len(), 1);
+        assert_eq!(f0.counters[0].delta, 3);
+        assert!(cur.poll(&sink, at_ms(5)).is_none(), "inside interval");
+        sink.add(MetricKey::global("unit", "ticks"), 4);
+        let f1 = cur.poll(&sink, at_ms(12)).expect("due frame");
+        assert_eq!(f1.seq, 1);
+        assert_eq!(f1.sim_ms, 12);
+        assert_eq!(f1.counters.len(), 1);
+        assert_eq!(f1.counters[0].delta, 4);
+    }
+
+    #[test]
+    fn unchanged_counters_drop_out_of_delta_frames() {
+        let sink = Sink::new();
+        sink.add(MetricKey::global("unit", "static"), 7);
+        sink.add(MetricKey::global("unit", "moving"), 1);
+        let mut cur = StreamCursor::new(1);
+        let f0 = cur.poll(&sink, at_ms(0)).expect("baseline");
+        assert_eq!(f0.counters.len(), 2);
+        sink.add(MetricKey::global("unit", "moving"), 2);
+        let f1 = cur.poll(&sink, at_ms(5)).expect("delta frame");
+        assert_eq!(f1.counters.len(), 1);
+        assert_eq!(f1.counters[0].name, "moving");
+        assert_eq!(f1.counters[0].delta, 2);
+    }
+
+    #[test]
+    fn frames_carry_span_aggregates_and_serialize_to_one_line() {
+        let sink = Sink::new();
+        sink.tracer().set_enabled(true);
+        sink.tracer().record_span("unit/work", 42);
+        let mut cur = StreamCursor::new(1);
+        let frame = cur.flush(&sink, at_ms(1));
+        assert_eq!(frame.spans.len(), 1);
+        assert_eq!(frame.spans[0].total_ps, 42);
+        let line = frame.to_jsonl();
+        assert!(!line.contains('\n'), "one JSONL line: {line}");
+        assert!(!line.contains("wall"), "wall channel excluded: {line}");
+        let back: StreamFrame = serde_json::from_str(&line).expect("round trip");
+        assert_eq!(back, frame);
+    }
+}
