@@ -14,7 +14,10 @@
 #   7. bench gate          plugvolt-cli bench --smoke vs committed BENCH.json
 #   8. attribution smoke   plugvolt-cli bench --attr --smoke + Chrome trace
 #   9. soak gate           plugvolt-cli soak --smoke + corpus replay
-#  10. golden gate         results/ regenerate bit-for-bit vs golden.manifest
+#  10. trace replay gate   committed MSR transcript replayed through the
+#                          HAL replay backend (tape-clean + oracles +
+#                          sim-differential byte identity)
+#  11. golden gate         results/ regenerate bit-for-bit vs golden.manifest
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -67,6 +70,13 @@ fi
 step "cargo build --release"
 cargo build --release --workspace
 
+step "host backend builds (plugvolt-hal)"
+# The read-only Linux host backend (/dev/cpu/*/msr + sysfs cpufreq) is
+# compile-gated on target_os = "linux"; build the HAL crate explicitly
+# so a cfg regression can never hide behind the workspace build, and so
+# the gate is self-describing in the CI log.
+cargo build --release -p plugvolt-hal
+
 step "cargo test -q"
 cargo test -q --workspace
 
@@ -95,6 +105,16 @@ step "plugvolt-cli soak --smoke"
 # rotting into a rubber stamp.
 ./target/release/plugvolt-cli soak --smoke --corpus results/fuzz-corpus \
     --out target/soak-report.json
+
+step "plugvolt-cli soak --backend replay (trace fixture)"
+# Replays the committed MSR transcript through the HAL replay backend
+# across all four deployment levels. Fails on any tape divergence,
+# overrun or leftover, on any soak-oracle violation, and unless the
+# replayed run's telemetry profiles and poll stats are byte-identical
+# to a plain sim run — the differential proof that the sim and trace
+# backends sit behind one seam with no behavioral drift.
+./target/release/plugvolt-cli soak --backend replay \
+    --trace results/traces/fixture.trace.jsonl
 
 step "golden results match"
 # Regenerates every results/ artifact into a temp dir and diffs the

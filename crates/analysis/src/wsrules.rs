@@ -654,25 +654,36 @@ impl WorkspaceRule for TelemetryKeyRegistry {
 /// Rule 4 (workspace half) — `msr-write-discipline`.
 ///
 /// The per-file half bans raw `0x150`/`0x198` literals; this half uses
-/// the symbol index to catch the *call-shaped* bypass: `.wrmsr(…)` /
-/// `.rdmsr(…)` invoked directly on the CPU package (receiver ends in
-/// `cpu()`, `cpu_mut()` or `.cpu`) from outside the blessed msr/kernel/
-/// cpu layers. Those skip kernel cost accounting and the `offset_limit`
-/// clamp choke point — exactly the unsanctioned undervolting path the
-/// paper's Sec. 5 countermeasure exists to close.
+/// the symbol index to catch two *call-shaped* bypasses of the HAL
+/// trait seam from outside the blessed hal/msr/kernel/cpu layers:
+///
+/// 1. `.wrmsr(…)` / `.rdmsr(…)` invoked directly on the CPU package
+///    (receiver ends in `cpu()`, `cpu_mut()` or `.cpu`) — skips kernel
+///    cost accounting and the `offset_limit` clamp choke point, exactly
+///    the unsanctioned undervolting path the paper's Sec. 5
+///    countermeasure exists to close;
+/// 2. direct `MsrFile::`/`CpuPackage::` construction — conjures a sim
+///    register file behind the backend's back instead of going through
+///    `plugvolt_hal::sim::SimBackend` / `Machine::with_backend`, so the
+///    access never crosses the recordable seam.
+///
+/// Benchmarks and test code may do both (they measure/poke the raw
+/// substrate on purpose).
 pub struct MsrDirectAccess;
 
-/// Layers allowed to touch the package MSR interface directly.
-const BLESSED_MSR_CRATES: [&str; 3] = ["msr", "kernel", "cpu"];
+/// Layers allowed to touch the package MSR interface directly: the HAL
+/// itself, the register-file and package crates it abstracts, and the
+/// kernel that mounts the seam.
+const BLESSED_MSR_CRATES: [&str; 4] = ["msr", "kernel", "cpu", "hal"];
 
 impl WorkspaceRule for MsrDirectAccess {
     fn meta(&self) -> RuleMeta {
         RuleMeta {
             id: "msr-write-discipline",
             severity: Severity::Error,
-            summary: "direct package .wrmsr()/.rdmsr() calls outside the blessed \
-                      msr/kernel/cpu layers bypass cost accounting and the \
-                      offset_limit clamp",
+            summary: "direct package .wrmsr()/.rdmsr() calls or MsrFile/CpuPackage \
+                      construction outside the blessed hal/msr/kernel/cpu layers \
+                      bypass the HAL seam, cost accounting and the offset_limit clamp",
         }
     }
 
@@ -717,9 +728,39 @@ impl WorkspaceRule for MsrDirectAccess {
                         column,
                         format!(
                             "direct package MSR access `.{ident}(…)`{in_fn} outside the \
-                             blessed msr/kernel/cpu layers bypasses kernel cost \
+                             blessed hal/msr/kernel/cpu layers bypasses kernel cost \
                              accounting and the offset_limit clamp (the Sec. 5 choke \
                              point); route the access through `Machine::{ident}`"
+                        ),
+                        out,
+                    );
+                }
+            }
+            // Benchmarks measure the raw substrate on purpose.
+            if matches!(file.role, FileRole::Bench) {
+                continue;
+            }
+            for ty in ["MsrFile", "CpuPackage"] {
+                for (line, column) in file.find_ident(ty) {
+                    if file.is_test_code(line) {
+                        continue;
+                    }
+                    let text = &file.masked[line - 1];
+                    if !text[column - 1 + ty.len()..].starts_with("::") {
+                        continue;
+                    }
+                    emit_ws(
+                        ws,
+                        self.meta(),
+                        &file.path,
+                        line,
+                        column,
+                        format!(
+                            "direct `{ty}::` access outside the blessed \
+                             hal/msr/kernel/cpu layers conjures a sim register file \
+                             behind the HAL seam; construct the substrate through \
+                             `plugvolt_hal::sim::SimBackend` and mount it with \
+                             `Machine::with_backend` instead"
                         ),
                         out,
                     );

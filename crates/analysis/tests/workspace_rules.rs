@@ -217,6 +217,29 @@ pub fn drain(machine: &mut Machine) -> u64 {
 }
 
 #[test]
+fn msr_seam_flags_substrate_conjuring_outside_blessed_layers() {
+    // The HAL-seam half of rule 4: `MsrFile::`/`CpuPackage::` paths in
+    // lib code outside hal/msr/kernel/cpu conjure a raw substrate the
+    // backend cannot see.
+    let src = r#"
+pub fn sneaky() -> CpuPackage {
+    let _file = MsrFile::new();
+    CpuPackage::new(CpuModel::CometLake, 7)
+}
+"#;
+    let findings = scan_str("crates/attacks/src/fixture.rs", src);
+    assert_eq!(rules_hit(&findings), ["msr-write-discipline"]);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("HAL seam")));
+    // The HAL crate is the seam — it is blessed.
+    let hal = scan_str("crates/hal/src/fixture.rs", src);
+    assert!(hal.is_empty(), "{hal:?}");
+    // Benchmarks measure the raw substrate on purpose.
+    let bench = scan_str("crates/bench/benches/fixture.rs", src);
+    assert!(bench.is_empty(), "{bench:?}");
+}
+
+#[test]
 fn rules_4_and_8_union_per_file_and_workspace_halves() {
     // One fixture violating both halves of rule 4: the raw-literal
     // heuristic and the call-shaped workspace detection. The merged scan

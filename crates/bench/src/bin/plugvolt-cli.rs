@@ -15,6 +15,9 @@
 //! plugvolt-cli soak         [--smoke] [--seed N] [--campaigns N] [--workers N]
 //!                           [--model M] [--corpus DIR] [--out report.json]
 //!                           [--stream frames.jsonl] [--no-self-test]
+//! plugvolt-cli soak         --record fixture.trace.jsonl [--seed N] [--model M]
+//! plugvolt-cli soak         --backend replay --trace fixture.trace.jsonl
+//! plugvolt-cli soak         --backend host [--reads N] [--period-us N]
 //! ```
 //!
 //! `bench --attr` replaces the perf harness with a traced
@@ -26,6 +29,16 @@
 //! campaign (registry counter deltas plus span aggregates; the stream
 //! clock is the campaign index, one campaign per simulated
 //! millisecond) and forces the sequential campaign path.
+//!
+//! The `--backend` flag selects the HAL backend behind the machine
+//! seam (`plugvolt_hal`): `sim` (default) runs the in-memory register
+//! file; `--record` records the deterministic fixture campaign to a
+//! pinned-schema JSONL MSR transcript; `--backend replay --trace FILE`
+//! re-executes a transcript on the replay backend and gates on
+//! tape-clean + oracle-pass + sim-differential byte identity;
+//! `--backend host` probes the *read-only* Linux host backend
+//! (`/dev/cpu/*/msr` + sysfs cpufreq) and reports polling overhead and
+//! worst-case detection latency — it never writes an MSR.
 //!
 //! The characterization artifact is plain JSON — the same bytes the
 //! kernel module consumes — so the stages can run on different machines,
@@ -308,6 +321,24 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         "soak" => {
+            match value_of(&args, "--backend")?.as_deref() {
+                None | Some("sim") => {}
+                Some("replay") => return replay_command(&args),
+                Some("host") => return host_command(&args),
+                Some(other) => {
+                    return Err(format!("unknown backend '{other}' (sim | replay | host)").into())
+                }
+            }
+            if let Some(path) = value_of(&args, "--record")? {
+                return record_command(&args, &path);
+            }
+            if args.iter().any(|a| a == "--trace") {
+                return Err(CliError::RequiresFlag {
+                    flag: "--trace",
+                    requires: "--backend replay",
+                }
+                .into());
+            }
             let mut cfg = if flag("--smoke") {
                 plugvolt_bench::soak::SoakConfig::smoke()
             } else {
@@ -325,14 +356,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             if flag("--no-self-test") {
                 cfg.self_test = false;
             }
-            // The banner echoes the seed in hex; accept it back in
-            // either radix so a printed seed is always pasteable.
-            let seed = opt("--seed").map_or(Ok(plugvolt_bench::scenario::SEED), |s| {
-                match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                    Some(hex) => u64::from_str_radix(hex, 16),
-                    None => s.parse::<u64>(),
-                }
-            })?;
+            let seed =
+                opt("--seed").map_or(Ok(plugvolt_bench::scenario::SEED), |s| parse_seed(&s))?;
             let corpus = opt("--corpus");
             let stream_path = value_of(&args, "--stream")?;
             let mut scn = Scenario::with_seed(seed);
@@ -478,10 +503,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                  \x20 bench        --attr [--smoke] [--model M] [--trace-out trace.json] [--flame-out stacks.txt]\n\
                  \x20 soak         [--smoke] [--seed N] [--campaigns N] [--workers N] [--model M]\n\
                  \x20              [--corpus DIR] [--out report.json] [--stream frames.jsonl] [--no-self-test]\n\
+                 \x20 soak         --record fixture.trace.jsonl [--seed N] [--model M]\n\
+                 \x20 soak         --backend replay --trace fixture.trace.jsonl\n\
+                 \x20 soak         --backend host [--reads N] [--period-us N]\n\
                  \n\
                  `bench --attr` prints the per-subsystem hot-path attribution table;\n\
                  `--trace-out` exports a Chrome trace-event JSON (load in Perfetto);\n\
-                 `soak --stream` appends one pinned-schema telemetry frame per campaign.\n\
+                 `soak --stream` appends one pinned-schema telemetry frame per campaign;\n\
+                 `soak --record` records the fixture campaign's MSR transcript,\n\
+                 `soak --backend replay --trace` re-runs it with differential checks, and\n\
+                 `soak --backend host` probes the read-only Linux MSR/cpufreq backend.\n\
                  \n\
                  lint the workspace sources (determinism & MSR-safety gate):\n\
                  \x20 cargo run -p plugvolt-analysis --bin plugvolt-lint -- --workspace"
@@ -528,6 +559,87 @@ fn attr_command(args: &[String], smoke: bool) -> Result<(), Box<dyn std::error::
         eprintln!("collapsed stacks written to {path} (feed to flamegraph.pl)");
     }
     Ok(())
+}
+
+/// The banner echoes seeds in hex; accept them back in either radix so
+/// a printed seed is always pasteable.
+fn parse_seed(s: &str) -> Result<u64, std::num::ParseIntError> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    }
+}
+
+/// `soak --record FILE`: records the deterministic fixture campaign
+/// (all four deployment levels) onto one MSR transcript and writes the
+/// pinned-schema JSONL to `FILE`. Refuses to write a fixture whose
+/// campaign violates an oracle.
+fn record_command(args: &[String], path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let seed = match value_of(args, "--seed")? {
+        Some(s) => parse_seed(&s)?,
+        None => plugvolt_bench::scenario::SEED,
+    };
+    let model = match value_of(args, "--model")? {
+        Some(m) => parse_model(&m)?,
+        None => CpuModel::CometLake,
+    };
+    let scn = Scenario::with_seed(seed);
+    eprintln!(
+        "recording the {} fixture campaign on {model} (seed {seed:#x})…",
+        plugvolt_bench::trace::FIXTURE_LABEL
+    );
+    let fixture = plugvolt_bench::trace::record_fixture(&scn, model)?;
+    std::fs::write(path, &fixture.jsonl)?;
+    eprintln!(
+        "{} transcript lines ({} levels) written to {path}",
+        fixture.jsonl.lines().count(),
+        fixture.captures.len()
+    );
+    Ok(())
+}
+
+/// `soak --backend replay --trace FILE`: re-executes a recorded MSR
+/// transcript on the replay backend and gates on tape-clean sections,
+/// the soak oracles, and byte-identical telemetry vs a plain sim run.
+fn replay_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = value_of(args, "--trace")?.ok_or(CliError::RequiresFlag {
+        flag: "--backend replay",
+        requires: "--trace FILE",
+    })?;
+    let jsonl = std::fs::read_to_string(&path)?;
+    let report = plugvolt_bench::trace::replay_trace(&jsonl)?;
+    print!("{}", report.render_text());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("replay gate failed for {path} (see verdict above)").into())
+    }
+}
+
+/// `soak --backend host`: probes the read-only Linux host backend
+/// (`/dev/cpu/*/msr` + sysfs cpufreq) and reports per-core read
+/// latency plus the worst-case detection latency a software poller at
+/// `--period-us` would see. Never writes an MSR; degrades gracefully
+/// without root (unreadable cores are reported, not fatal).
+#[cfg(target_os = "linux")]
+fn host_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let reads = match value_of(args, "--reads")? {
+        Some(n) => n.parse::<u32>()?,
+        None => 64,
+    };
+    let period_us = match value_of(args, "--period-us")? {
+        Some(n) => n.parse::<f64>()?,
+        None => 100.0,
+    };
+    let report = plugvolt_hal::host::probe_poll_overhead(reads);
+    print!("{}", report.render_text(period_us));
+    Ok(())
+}
+
+/// Stub on non-Linux targets (the host backend is Linux-only).
+#[cfg(not(target_os = "linux"))]
+fn host_command(_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    Err("--backend host requires Linux (/dev/cpu/*/msr + sysfs cpufreq)".into())
 }
 
 fn parse_model(s: &str) -> Result<CpuModel, String> {

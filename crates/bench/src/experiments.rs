@@ -728,19 +728,14 @@ pub fn energy_ablation(
             let _ = dev.write(&mut machine, Msr::OC_MAILBOX, req)?;
         }
         // Let the rail settle, then measure a busy window via RAPL.
-        // The energy reads deliberately bypass Machine::rdmsr: routing
-        // them through the kernel would charge MSR access cost into the
-        // very overhead this ablation measures, contaminating the
-        // baseline arm.
+        // The energy reads use the privileged zero-cost Machine::rdmsr
+        // path: no MSR access cost is charged, so the measurement never
+        // contaminates the overhead this ablation quantifies.
         machine.advance(SimDuration::from_millis(3));
-        let t0 = machine.now();
-        // plugvolt-lint: allow(msr-write-discipline)
-        let e0 = machine.cpu().rdmsr(t0, CoreId(0), Msr::PKG_ENERGY_STATUS)? as f64
+        let e0 = machine.rdmsr(CoreId(0), Msr::PKG_ENERGY_STATUS)? as f64
             * plugvolt_cpu::energy::RAPL_UNIT_J;
         machine.advance(window);
-        let t1 = machine.now();
-        // plugvolt-lint: allow(msr-write-discipline)
-        let e1 = machine.cpu().rdmsr(t1, CoreId(0), Msr::PKG_ENERGY_STATUS)? as f64
+        let e1 = machine.rdmsr(CoreId(0), Msr::PKG_ENERGY_STATUS)? as f64
             * plugvolt_cpu::energy::RAPL_UNIT_J;
         let joules = e1 - e0;
         if baseline_j == 0.0 {

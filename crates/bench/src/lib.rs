@@ -16,6 +16,8 @@
 //! - [`soak`] — the `plugvolt-fuzz` differential soak fuzzer behind
 //!   `plugvolt-cli soak` (randomized campaigns, oracle invariants,
 //!   auto-shrunk reproducer corpus);
+//! - [`trace`] — the MSR-transcript record/replay gate (pinned-schema
+//!   JSONL fixtures, tape-clean + oracle + sim-differential checks);
 //! - [`text`] — plain-text table rendering.
 //!
 //! Run `cargo run --release -p plugvolt-bench --bin repro -- all` to
@@ -30,3 +32,4 @@ pub mod perf;
 pub mod scenario;
 pub mod soak;
 pub mod text;
+pub mod trace;

@@ -39,6 +39,8 @@ use plugvolt::charmap::CharacterizationMap;
 use plugvolt::deploy::{deploy, Deployed, Deployment};
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_des::rng::{derive_seed, SimRng};
+use plugvolt_hal::sim::SimBackend;
+use plugvolt_hal::trace::{RecordingBackend, ReplayBackend, ReplayCursor, TraceRecorder};
 use plugvolt_kernel::machine::{Machine, MachineError};
 use plugvolt_telemetry::Sink;
 use std::collections::BTreeMap;
@@ -142,6 +144,33 @@ impl Scenario {
     #[must_use]
     pub fn unit_machine(&self, model: CpuModel, unit: u64) -> Machine {
         self.install(Machine::new_unit(model, self.root_seed, unit))
+    }
+
+    /// Boots a labelled auxiliary machine whose backend appends every
+    /// MSR access to `rec`'s transcript. Seeded identically to
+    /// [`Scenario::machine_for`] with the same label, so a recorded run
+    /// is bit-identical to an unrecorded one.
+    #[must_use]
+    pub fn machine_recording(&self, model: CpuModel, label: &str, rec: &TraceRecorder) -> Machine {
+        let seed = self.seed_for(label);
+        let backend = RecordingBackend::new(SimBackend::new(model, seed), rec.clone());
+        self.install(Machine::with_backend(Box::new(backend), seed))
+    }
+
+    /// Boots a labelled auxiliary machine whose backend re-executes
+    /// against a fresh sim store while verifying every MSR access
+    /// against `cursor`'s tape (divergences accumulate on the cursor).
+    /// Seeded identically to [`Scenario::machine_for`].
+    #[must_use]
+    pub fn machine_replaying(
+        &self,
+        model: CpuModel,
+        label: &str,
+        cursor: &ReplayCursor,
+    ) -> Machine {
+        let seed = self.seed_for(label);
+        let backend = ReplayBackend::new(SimBackend::new(model, seed), cursor.clone());
+        self.install(Machine::with_backend(Box::new(backend), seed))
     }
 
     fn install(&self, mut machine: Machine) -> Machine {

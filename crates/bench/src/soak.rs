@@ -39,7 +39,7 @@ use crate::scenario::Scenario;
 use plugvolt::charmap::CharacterizationMap;
 use plugvolt::deploy::{deploy, Deployment};
 use plugvolt::exposure::{ExposureAccountant, ExposureBound};
-use plugvolt::poll::{PollConfig, PollingModule};
+use plugvolt::poll::{PollConfig, PollStats, PollingModule};
 use plugvolt::state::StateClass;
 use plugvolt_attacks::campaign::is_crash;
 use plugvolt_attacks::schedule::{AttackFamily, CampaignSchedule, ScheduleAction};
@@ -48,6 +48,7 @@ use plugvolt_cpu::freq::FreqMhz;
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_cpu::package::PackageError;
 use plugvolt_des::time::{SimDuration, SimTime};
+use plugvolt_hal::trace::{ReplayCursor, TraceRecorder};
 use plugvolt_kernel::cpupower::CpuPower;
 use plugvolt_kernel::machine::{KernelModule, Machine, MachineError, ModuleCtx};
 use plugvolt_kernel::msr_dev::MsrDev;
@@ -343,14 +344,14 @@ impl From<std::io::Error> for SoakError {
 /// The four deployment levels every campaign runs against, in judge
 /// order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Level {
+pub(crate) enum Level {
     None,
     Polling,
     Microcode,
     Hardware,
 }
 
-const LEVELS: [Level; 4] = [
+pub(crate) const LEVELS: [Level; 4] = [
     Level::None,
     Level::Polling,
     Level::Microcode,
@@ -358,7 +359,7 @@ const LEVELS: [Level; 4] = [
 ];
 
 impl Level {
-    fn label(self) -> &'static str {
+    pub(crate) fn label(self) -> &'static str {
         match self {
             Level::None => "none",
             Level::Polling => "polling-module",
@@ -381,7 +382,7 @@ struct StepRecord {
 
 /// One campaign × deployment execution.
 #[derive(Debug, Clone)]
-struct RunRecord {
+pub(crate) struct RunRecord {
     level: Level,
     steps: Vec<StepRecord>,
     faults: u64,
@@ -390,6 +391,24 @@ struct RunRecord {
     detect_latency_max_us: Option<f64>,
     accountant: ExposureAccountant,
     bound: Option<ExposureBound>,
+    /// Rendered telemetry profile, captured only on [`BootMode`] runs
+    /// that asked for it (the differential sim-vs-replay gate).
+    pub(crate) profile_json: Option<String>,
+    /// Final poll statistics of the polling level, same capture gate.
+    pub(crate) poll_stats: Option<PollStats>,
+}
+
+/// How [`run_level_mode`] boots the campaign machine: the plain sim
+/// backend, a recording backend appending to a shared transcript, or a
+/// replay backend verifying against one section's tape.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BootMode<'a> {
+    /// Plain sim boot (what every soak campaign uses).
+    Sim,
+    /// Record all backend MSR traffic onto the shared tape.
+    Record(&'a TraceRecorder),
+    /// Re-execute while verifying against the tape section.
+    Replay(&'a ReplayCursor),
 }
 
 /// A deliberately weakened polling module: delegates to the real
@@ -448,15 +467,49 @@ fn run_level(
     level: Level,
     weaken: Option<u32>,
 ) -> Result<RunRecord, SoakError> {
-    let mut machine = scn.machine_for(model, MACHINE_LABEL);
+    run_level_mode(
+        scn,
+        model,
+        map,
+        schedule,
+        level,
+        weaken,
+        BootMode::Sim,
+        false,
+    )
+}
+
+/// [`run_level`] with an explicit backend boot mode and optional
+/// profile/poll-stats capture. The machine seed is the same for every
+/// mode (all three constructors derive it from [`MACHINE_LABEL`]), so
+/// sim, record and replay runs execute bit-identically — which is what
+/// the differential sim-vs-replay gate asserts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_level_mode(
+    scn: &Scenario,
+    model: CpuModel,
+    map: &CharacterizationMap,
+    schedule: &CampaignSchedule,
+    level: Level,
+    weaken: Option<u32>,
+    boot: BootMode<'_>,
+    capture: bool,
+) -> Result<RunRecord, SoakError> {
+    let mut machine = match boot {
+        BootMode::Sim => scn.machine_for(model, MACHINE_LABEL),
+        BootMode::Record(rec) => scn.machine_recording(model, MACHINE_LABEL, rec),
+        BootMode::Replay(cursor) => scn.machine_replaying(model, MACHINE_LABEL, cursor),
+    };
     let sink = Sink::with_event_capacity(1 << 16);
     machine.set_telemetry(sink.clone());
+    let mut stats_handle = None;
     let bound = match level {
         Level::None => None,
         Level::Polling => {
             let cfg = poll_config_for(schedule);
             let bound = ExposureBound::for_polling(&cfg);
-            let (module, _stats) = PollingModule::new(map.clone(), cfg.clone());
+            let (module, stats) = PollingModule::new(map.clone(), cfg.clone());
+            stats_handle = Some(stats);
             match weaken {
                 Some(n) if n > 1 => machine.load_module(Box::new(WeakenedPolling {
                     inner: module,
@@ -595,6 +648,15 @@ fn run_level(
         }
     }
 
+    let (profile_json, poll_stats) = if capture {
+        machine.publish_trace_drops();
+        let profile = sink.profile(level.label()).to_json();
+        let stats = stats_handle.as_ref().map(|h| h.borrow().clone());
+        (Some(profile), stats)
+    } else {
+        (None, None)
+    };
+
     Ok(RunRecord {
         level,
         steps,
@@ -604,6 +666,8 @@ fn run_level(
         detect_latency_max_us,
         accountant: acct,
         bound,
+        profile_json,
+        poll_stats,
     })
 }
 
@@ -655,7 +719,7 @@ fn judge_campaign(
 }
 
 /// The three oracles, in severity order.
-fn judge(runs: &[RunRecord]) -> Option<Violation> {
+pub(crate) fn judge(runs: &[RunRecord]) -> Option<Violation> {
     // Oracle 1: the synchronous clamps admit nothing, ever.
     for run in runs {
         if matches!(run.level, Level::Microcode | Level::Hardware)

@@ -1,0 +1,390 @@
+//! The MSR-transcript gate: record a soak campaign's MSR traffic to a
+//! pinned-schema JSONL fixture and replay it differentially.
+//!
+//! [`record_fixture`] runs one deterministic campaign (drawn from the
+//! scenario's `trace/fixture/schedule` stream) across all four
+//! deployment levels on a *recording* backend, one transcript section
+//! per level, and returns the JSONL plus the captured telemetry
+//! profile and poll stats of each level.
+//!
+//! [`replay_trace`] is self-contained: it reads the model and root
+//! seed from the transcript header, regenerates the same schedule, and
+//! re-runs every section on a *replay* backend that verifies each MSR
+//! access against the tape. The gate then holds three things at once:
+//!
+//! 1. **tape-clean** — every section replays with zero divergences, no
+//!    overrun and no leftover tape;
+//! 2. **oracle-pass** — the replayed runs still hold all three soak
+//!    oracles (zero-faults, exposure, stream-equivalence);
+//! 3. **sim-differential** — a plain sim run of the same campaign
+//!    produces byte-identical telemetry profiles and poll stats.
+//!
+//! `ci.sh` replays the committed fixture under `results/traces/` on
+//! every commit; `tests/determinism.rs` pins the record→replay loop.
+
+use crate::scenario::Scenario;
+use crate::soak::{judge, run_level_mode, BootMode, Level, SoakError, Violation, LEVELS};
+use plugvolt::poll::PollStats;
+use plugvolt_attacks::schedule::{AttackFamily, CampaignSchedule};
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_hal::error::HalError;
+use plugvolt_hal::trace::{
+    parse_trace, ReplayCursor, TraceHeader, TraceRecorder, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+};
+use std::fmt;
+
+/// Campaign label of the fixture (also the transcript header label).
+pub const FIXTURE_LABEL: &str = "trace/fixture";
+
+/// Errors of the record/replay gate.
+#[derive(Debug)]
+pub enum TraceGateError {
+    /// Transcript serialization/parsing failed.
+    Hal(HalError),
+    /// The underlying campaign execution failed.
+    Soak(SoakError),
+    /// The transcript's sections do not line up with the deployment
+    /// levels this build runs.
+    SectionMismatch {
+        /// What the replayer expected (a level label).
+        expected: String,
+        /// What the transcript had.
+        got: String,
+    },
+    /// Recording refused to ship a fixture that violates the oracles.
+    RecordedViolation(Violation),
+}
+
+impl fmt::Display for TraceGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceGateError::Hal(e) => write!(f, "{e}"),
+            TraceGateError::Soak(e) => write!(f, "{e}"),
+            TraceGateError::SectionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "transcript section mismatch: expected '{expected}', got '{got}'"
+                )
+            }
+            TraceGateError::RecordedViolation(v) => {
+                write!(f, "fixture campaign violates an oracle at record time: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceGateError {}
+
+impl From<HalError> for TraceGateError {
+    fn from(e: HalError) -> Self {
+        TraceGateError::Hal(e)
+    }
+}
+
+impl From<SoakError> for TraceGateError {
+    fn from(e: SoakError) -> Self {
+        TraceGateError::Soak(e)
+    }
+}
+
+/// The deterministic fixture campaign: first attack family, drawn from
+/// the scenario's `trace/fixture/schedule` stream, with a 300 µs poll
+/// period to bound transcript size.
+#[must_use]
+pub fn fixture_schedule(scn: &Scenario, model: CpuModel) -> CampaignSchedule {
+    let spec = model.spec();
+    let mut rng = scn.rng("trace/fixture/schedule");
+    let mut schedule = CampaignSchedule::generate(AttackFamily::ALL[0], &spec, &mut rng);
+    schedule.poll_period_us = 300;
+    schedule
+}
+
+/// Captured observables of one deployment level, used for the
+/// byte-identity comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelCapture {
+    /// Deployment-level label (also the transcript section name).
+    pub level: &'static str,
+    /// Rendered telemetry profile JSON.
+    pub profile_json: String,
+    /// Final poll stats (polling level only).
+    pub poll_stats: Option<PollStats>,
+}
+
+/// What [`record_fixture`] produced.
+#[derive(Debug, Clone)]
+pub struct RecordedFixture {
+    /// The JSONL transcript (header, one section per level).
+    pub jsonl: String,
+    /// Per-level captures of the recorded runs.
+    pub captures: Vec<LevelCapture>,
+}
+
+/// Records the fixture campaign across all four deployment levels onto
+/// one transcript. Refuses to ship a fixture whose campaign violates
+/// an oracle (a broken fixture would wedge the CI gate).
+///
+/// # Errors
+///
+/// Campaign failures, serialization failures, or a recorded oracle
+/// violation.
+pub fn record_fixture(scn: &Scenario, model: CpuModel) -> Result<RecordedFixture, TraceGateError> {
+    let map = scn.quick_map(model);
+    let schedule = fixture_schedule(scn, model);
+    let rec = TraceRecorder::new(TraceHeader {
+        schema: TRACE_SCHEMA.to_string(),
+        version: TRACE_SCHEMA_VERSION,
+        model,
+        root_seed: scn.root_seed(),
+        label: FIXTURE_LABEL.to_string(),
+    });
+    let mut runs = Vec::with_capacity(LEVELS.len());
+    let mut captures = Vec::with_capacity(LEVELS.len());
+    for level in LEVELS {
+        rec.begin_section(level.label());
+        let run = run_level_mode(
+            scn,
+            model,
+            &map,
+            &schedule,
+            level,
+            None,
+            BootMode::Record(&rec),
+            true,
+        )?;
+        captures.push(capture_of(level, &run));
+        runs.push(run);
+    }
+    if let Some(v) = judge(&runs) {
+        return Err(TraceGateError::RecordedViolation(v));
+    }
+    Ok(RecordedFixture {
+        jsonl: rec.to_jsonl()?,
+        captures,
+    })
+}
+
+fn capture_of(level: Level, run: &crate::soak::RunRecord) -> LevelCapture {
+    LevelCapture {
+        level: level.label(),
+        profile_json: run.profile_json.clone().unwrap_or_default(),
+        poll_stats: run.poll_stats.clone(),
+    }
+}
+
+/// Replay verdict of one transcript section.
+#[derive(Debug, Clone)]
+pub struct SectionReplay {
+    /// Section name (a deployment-level label).
+    pub name: String,
+    /// Tape events checked off.
+    pub consumed: usize,
+    /// Mismatches between re-execution and tape.
+    pub divergences: usize,
+    /// Re-execution accesses past the end of the tape.
+    pub overrun: u64,
+    /// Tape events the re-execution never reached.
+    pub leftover: usize,
+}
+
+impl SectionReplay {
+    /// Whether the section replayed exactly.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.divergences == 0 && self.overrun == 0 && self.leftover == 0
+    }
+}
+
+/// The full replay-gate verdict.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Model the transcript was recorded against.
+    pub model: CpuModel,
+    /// Root seed from the transcript header.
+    pub root_seed: u64,
+    /// Per-section tape verdicts, in transcript order.
+    pub sections: Vec<SectionReplay>,
+    /// Oracle verdict of the replayed runs (None = all oracles held).
+    pub violation: Option<Violation>,
+    /// Captures of the replayed runs.
+    pub replay_captures: Vec<LevelCapture>,
+    /// Captures of the plain-sim differential runs.
+    pub sim_captures: Vec<LevelCapture>,
+}
+
+impl ReplayReport {
+    /// Whether replay and sim produced byte-identical telemetry
+    /// profiles and poll stats, level by level.
+    #[must_use]
+    pub fn profiles_match(&self) -> bool {
+        self.replay_captures == self.sim_captures
+    }
+
+    /// The full gate: tape-clean, oracle-pass, sim-differential.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.sections.iter().all(SectionReplay::clean)
+            && self.violation.is_none()
+            && self.profiles_match()
+    }
+
+    /// Human-readable verdict for the CLI.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replaying {} transcript (model {}, seed {:#x})\n",
+            FIXTURE_LABEL, self.model, self.root_seed
+        ));
+        for s in &self.sections {
+            out.push_str(&format!(
+                "  section {:<16} {:>5} events  {}\n",
+                s.name,
+                s.consumed,
+                if s.clean() {
+                    "clean".to_string()
+                } else {
+                    format!(
+                        "DIVERGED ({} mismatches, {} overrun, {} leftover)",
+                        s.divergences, s.overrun, s.leftover
+                    )
+                }
+            ));
+        }
+        match &self.violation {
+            None => out.push_str("  oracles: all held\n"),
+            Some(v) => out.push_str(&format!("  oracles: VIOLATION {v}\n")),
+        }
+        out.push_str(&format!(
+            "  sim differential: {}\n",
+            if self.profiles_match() {
+                "profiles and poll stats byte-identical"
+            } else {
+                "MISMATCH against plain sim run"
+            }
+        ));
+        out.push_str(if self.passed() {
+            "RESULT: replay gate passed\n"
+        } else {
+            "RESULT: replay gate FAILED\n"
+        });
+        out
+    }
+}
+
+/// Replays a JSONL transcript through the replay backend across all
+/// deployment levels and runs the sim differential. Self-contained:
+/// everything needed (model, seed, schedule stream) comes from the
+/// transcript header.
+///
+/// # Errors
+///
+/// Schema errors, section/level mismatches, campaign failures.
+pub fn replay_trace(jsonl: &str) -> Result<ReplayReport, TraceGateError> {
+    let (header, sections) = parse_trace(jsonl)?;
+    let scn = Scenario::with_seed(header.root_seed);
+    let model = header.model;
+    let map = scn.quick_map(model);
+    let schedule = fixture_schedule(&scn, model);
+
+    if sections.len() != LEVELS.len() {
+        return Err(TraceGateError::SectionMismatch {
+            expected: format!("{} sections", LEVELS.len()),
+            got: format!("{} sections", sections.len()),
+        });
+    }
+
+    let mut section_reports = Vec::with_capacity(LEVELS.len());
+    let mut replay_captures = Vec::with_capacity(LEVELS.len());
+    let mut sim_captures = Vec::with_capacity(LEVELS.len());
+    let mut runs = Vec::with_capacity(LEVELS.len());
+    for (level, (name, events)) in LEVELS.into_iter().zip(sections) {
+        if name != level.label() {
+            return Err(TraceGateError::SectionMismatch {
+                expected: level.label().to_string(),
+                got: name,
+            });
+        }
+        let tape_len = events.len();
+        let cursor = ReplayCursor::new(events);
+        let run = run_level_mode(
+            &scn,
+            model,
+            &map,
+            &schedule,
+            level,
+            None,
+            BootMode::Replay(&cursor),
+            true,
+        )?;
+        section_reports.push(SectionReplay {
+            name,
+            consumed: cursor.consumed(),
+            divergences: cursor.divergences().len(),
+            overrun: cursor.overrun(),
+            leftover: tape_len - cursor.consumed(),
+        });
+        replay_captures.push(capture_of(level, &run));
+        runs.push(run);
+
+        let sim_run = run_level_mode(
+            &scn,
+            model,
+            &map,
+            &schedule,
+            level,
+            None,
+            BootMode::Sim,
+            true,
+        )?;
+        sim_captures.push(capture_of(level, &sim_run));
+    }
+
+    Ok(ReplayReport {
+        model,
+        root_seed: header.root_seed,
+        sections: section_reports,
+        violation: judge(&runs),
+        replay_captures,
+        sim_captures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_round_trips_clean() {
+        let scn = Scenario::new();
+        let fixture = record_fixture(&scn, CpuModel::CometLake).expect("records");
+        assert_eq!(fixture.captures.len(), 4);
+        let report = replay_trace(&fixture.jsonl).expect("replays");
+        assert!(report.passed(), "{}", report.render_text());
+        // The recorded captures equal the replayed ones too: record,
+        // replay and sim are three views of one bit-identical run.
+        assert_eq!(fixture.captures, report.replay_captures);
+    }
+
+    #[test]
+    fn tampered_transcript_is_flagged() {
+        let scn = Scenario::new();
+        let fixture = record_fixture(&scn, CpuModel::CometLake).expect("records");
+        // Flip one written value in the tape: replay must notice.
+        let tampered = fixture.jsonl.replacen("\"value\":", "\"value\":9", 1);
+        assert_ne!(tampered, fixture.jsonl, "tamper site must exist");
+        let report = replay_trace(&tampered).expect("still parses");
+        assert!(
+            report.sections.iter().any(|s| !s.clean()),
+            "tampered tape replayed clean: {}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = fixture_schedule(&Scenario::new(), CpuModel::CometLake);
+        let b = fixture_schedule(&Scenario::new(), CpuModel::CometLake);
+        assert_eq!(a, b);
+    }
+}

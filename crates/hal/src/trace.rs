@@ -1,0 +1,644 @@
+//! Record/replay trace backends and the pinned JSONL transcript schema.
+//!
+//! A transcript is a JSONL stream: one JSON value per line, each an
+//! externally-tagged [`TraceLine`]. The first line is always a
+//! [`TraceHeader`] pinning schema name/version, CPU model, root seed
+//! and campaign label; `Section` markers then delimit independent runs
+//! (e.g. one per deployment level), each followed by its [`TraceEvent`]
+//! stream. Schema version bumps are breaking: [`parse_trace`] rejects
+//! any transcript whose `schema`/`version` pair it does not speak.
+//!
+//! [`RecordingBackend`] is a pure observer around [`SimBackend`]: it
+//! forwards every access verbatim and appends what happened to the
+//! tape, so a recorded run is bit-identical to an unrecorded one.
+//! [`ReplayBackend`] re-executes accesses against a fresh sim store
+//! (so side effects happen exactly as live) while verifying each
+//! access against the tape; mismatches are logged on the
+//! [`ReplayCursor`] as [`ReplayDivergence`]s instead of erroring, so a
+//! diverging replay still runs to completion and the differential gate
+//! can report *all* mismatches.
+
+use crate::backend::{drive_freq_via_msr, DvfsBackend, MachineBackend, MsrBackend};
+use crate::error::HalError;
+use crate::sim::SimBackend;
+use plugvolt_cpu::core::CoreId;
+use plugvolt_cpu::freq::FreqMhz;
+use plugvolt_cpu::model::CpuModel;
+use plugvolt_cpu::package::{CpuPackage, PackageError};
+use plugvolt_des::time::SimTime;
+use plugvolt_msr::addr::Msr;
+use plugvolt_msr::file::{MsrError, WriteOutcome};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Name of the transcript schema, pinned in every header line.
+pub const TRACE_SCHEMA: &str = "plugvolt-msr-trace";
+
+/// Version of the transcript schema. Bumping this is a breaking change
+/// to the on-disk format and must come with a migration note in
+/// DESIGN.md §5f.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Direction of a recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `rdmsr`.
+    Read,
+    /// `wrmsr`.
+    Write,
+}
+
+/// What the package did with the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOutcome {
+    /// Read: the value returned. Write: the value actually stored
+    /// (after interceptors masked/clamped it).
+    Value(u64),
+    /// The write was accepted but had no effect (disabled mailbox…).
+    Ignored,
+    /// `#GP` — unknown register for this model.
+    GeneralProtection,
+    /// The register is locked against writes.
+    WriteFault,
+    /// The package was crashed when the access arrived.
+    Crashed,
+    /// The core does not exist.
+    NoSuchCore,
+}
+
+/// One MSR access, fully decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotonic per-transcript sequence number.
+    pub seq: u64,
+    /// Simulated time of the access, picoseconds.
+    pub t_ps: u64,
+    /// Logical core index.
+    pub core: usize,
+    /// Register address.
+    pub msr: u32,
+    /// Access direction.
+    pub op: TraceOp,
+    /// The value written (0 for reads).
+    pub value: u64,
+    /// What happened.
+    pub outcome: TraceOutcome,
+}
+
+/// First line of every transcript.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Must equal [`TRACE_SCHEMA`].
+    pub schema: String,
+    /// Must equal [`TRACE_SCHEMA_VERSION`].
+    pub version: u32,
+    /// CPU model the transcript was recorded against.
+    pub model: CpuModel,
+    /// Root seed of the recording scenario — a replayer boots the same
+    /// deterministic world from this.
+    pub root_seed: u64,
+    /// Free-form campaign label.
+    pub label: String,
+}
+
+/// One line of the JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceLine {
+    /// Schema header; always the first line.
+    Header(TraceHeader),
+    /// Start of a named section (one per run/deployment level).
+    Section {
+        /// Section name, e.g. a deployment-level label.
+        name: String,
+    },
+    /// A recorded access.
+    Event(TraceEvent),
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    lines: Vec<TraceLine>,
+    seq: u64,
+}
+
+/// Cloneable handle onto a growing transcript. All clones append to
+/// the same tape; keep one and hand another to a [`RecordingBackend`].
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    state: Rc<RefCell<RecorderState>>,
+}
+
+impl TraceRecorder {
+    /// Starts a transcript with `header` as its first line.
+    #[must_use]
+    pub fn new(header: TraceHeader) -> Self {
+        Self {
+            state: Rc::new(RefCell::new(RecorderState {
+                lines: vec![TraceLine::Header(header)],
+                seq: 0,
+            })),
+        }
+    }
+
+    /// Opens a new section; subsequent events belong to it.
+    pub fn begin_section(&self, name: &str) {
+        self.state.borrow_mut().lines.push(TraceLine::Section {
+            name: name.to_string(),
+        });
+    }
+
+    /// Appends an access; the recorder assigns the sequence number.
+    fn push_event(&self, mut ev: TraceEvent) {
+        let mut st = self.state.borrow_mut();
+        ev.seq = st.seq;
+        st.seq += 1;
+        st.lines.push(TraceLine::Event(ev));
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.state.borrow().seq
+    }
+
+    /// Serializes the transcript to JSONL (one line per [`TraceLine`],
+    /// trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::TraceSchema`] if a line fails to serialize.
+    pub fn to_jsonl(&self) -> Result<String, HalError> {
+        let st = self.state.borrow();
+        let mut out = String::new();
+        for line in &st.lines {
+            let json = serde_json::to_string(line).map_err(|e| HalError::TraceSchema {
+                detail: format!("serialize trace line: {e:?}"),
+            })?;
+            out.push_str(&json);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+fn outcome_of_read(r: &Result<u64, HalError>) -> TraceOutcome {
+    match r {
+        Ok(v) => TraceOutcome::Value(*v),
+        Err(e) => outcome_of_err(e),
+    }
+}
+
+fn outcome_of_write(r: &Result<WriteOutcome, HalError>) -> TraceOutcome {
+    match r {
+        Ok(WriteOutcome::Written { stored }) => TraceOutcome::Value(*stored),
+        Ok(WriteOutcome::Ignored) => TraceOutcome::Ignored,
+        Err(e) => outcome_of_err(e),
+    }
+}
+
+fn outcome_of_err(e: &HalError) -> TraceOutcome {
+    match e {
+        HalError::Package(PackageError::Msr(MsrError::GeneralProtection { .. })) => {
+            TraceOutcome::GeneralProtection
+        }
+        HalError::Package(PackageError::Msr(MsrError::WriteFault { .. })) => {
+            TraceOutcome::WriteFault
+        }
+        HalError::Package(PackageError::NoSuchCore(_)) => TraceOutcome::NoSuchCore,
+        // Crashed, plus any future backend-local failure: from the
+        // tape's point of view the access simply did not complete.
+        _ => TraceOutcome::Crashed,
+    }
+}
+
+/// A pure observer around [`SimBackend`]: forwards every access and
+/// appends it to the shared [`TraceRecorder`] tape.
+#[derive(Debug)]
+pub struct RecordingBackend {
+    inner: SimBackend,
+    rec: TraceRecorder,
+}
+
+impl RecordingBackend {
+    /// Wraps `inner`, appending to `rec`.
+    #[must_use]
+    pub fn new(inner: SimBackend, rec: TraceRecorder) -> Self {
+        Self { inner, rec }
+    }
+
+    /// The shared tape handle.
+    #[must_use]
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.rec
+    }
+}
+
+impl MsrBackend for RecordingBackend {
+    fn name(&self) -> &'static str {
+        "record"
+    }
+
+    fn rdmsr(&mut self, now: SimTime, core: CoreId, msr: Msr) -> Result<u64, HalError> {
+        let r = self.inner.rdmsr(now, core, msr);
+        self.rec.push_event(TraceEvent {
+            seq: 0,
+            t_ps: now.as_picos(),
+            core: core.0,
+            msr: msr.0,
+            op: TraceOp::Read,
+            value: 0,
+            outcome: outcome_of_read(&r),
+        });
+        r
+    }
+
+    fn wrmsr(
+        &mut self,
+        now: SimTime,
+        core: CoreId,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, HalError> {
+        let r = self.inner.wrmsr(now, core, msr, value);
+        self.rec.push_event(TraceEvent {
+            seq: 0,
+            t_ps: now.as_picos(),
+            core: core.0,
+            msr: msr.0,
+            op: TraceOp::Write,
+            value,
+            outcome: outcome_of_write(&r),
+        });
+        r
+    }
+}
+
+impl DvfsBackend for RecordingBackend {
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+
+    fn current_freq(&mut self, core: CoreId) -> Result<FreqMhz, HalError> {
+        self.inner.current_freq(core)
+    }
+
+    fn set_freq(&mut self, now: SimTime, core: CoreId, freq: FreqMhz) -> Result<FreqMhz, HalError> {
+        // Route through our own wrmsr so the PERF_CTL write lands on
+        // the tape like any other access.
+        drive_freq_via_msr(self, now, core, freq)
+    }
+}
+
+impl MachineBackend for RecordingBackend {
+    fn cpu(&self) -> &CpuPackage {
+        self.inner.cpu()
+    }
+
+    fn cpu_mut(&mut self) -> &mut CpuPackage {
+        self.inner.cpu_mut()
+    }
+}
+
+/// One mismatch between a live re-execution and the tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// Tape sequence number at the mismatch.
+    pub seq: u64,
+    /// What the tape said happened.
+    pub expected: TraceEvent,
+    /// What the re-execution actually did.
+    pub got: TraceEvent,
+}
+
+#[derive(Debug)]
+struct ReplayState {
+    events: Vec<TraceEvent>,
+    pos: usize,
+    divergences: Vec<ReplayDivergence>,
+    overrun: u64,
+}
+
+/// Cloneable verification cursor over one section's tape. Hand one
+/// clone to a [`ReplayBackend`] and keep another to inspect the
+/// verdict after the run.
+#[derive(Debug, Clone)]
+pub struct ReplayCursor {
+    state: Rc<RefCell<ReplayState>>,
+}
+
+impl ReplayCursor {
+    /// Builds a cursor over `events` (one section's stream).
+    #[must_use]
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        Self {
+            state: Rc::new(RefCell::new(ReplayState {
+                events,
+                pos: 0,
+                divergences: Vec::new(),
+                overrun: 0,
+            })),
+        }
+    }
+
+    fn check(&self, got: TraceEvent) {
+        let mut st = self.state.borrow_mut();
+        let Some(expected) = st.events.get(st.pos).copied() else {
+            st.overrun += 1;
+            return;
+        };
+        st.pos += 1;
+        let mut got = got;
+        got.seq = expected.seq;
+        if got != expected {
+            st.divergences.push(ReplayDivergence {
+                seq: expected.seq,
+                expected,
+                got,
+            });
+        }
+    }
+
+    /// Events checked off the tape so far.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.state.borrow().pos
+    }
+
+    /// Tape events not yet reached by the re-execution.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        let st = self.state.borrow();
+        st.events.len() - st.pos
+    }
+
+    /// Accesses the re-execution made beyond the end of the tape.
+    #[must_use]
+    pub fn overrun(&self) -> u64 {
+        self.state.borrow().overrun
+    }
+
+    /// All mismatches observed so far.
+    #[must_use]
+    pub fn divergences(&self) -> Vec<ReplayDivergence> {
+        self.state.borrow().divergences.clone()
+    }
+
+    /// True iff the tape was consumed exactly: no divergences, no
+    /// overrun, nothing left over.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        let st = self.state.borrow();
+        st.divergences.is_empty() && st.overrun == 0 && st.pos == st.events.len()
+    }
+}
+
+/// Re-executes accesses against a fresh sim store while verifying each
+/// one against a recorded tape. The sim result is authoritative (side
+/// effects happen exactly as live); the tape is the checker.
+#[derive(Debug)]
+pub struct ReplayBackend {
+    inner: SimBackend,
+    cursor: ReplayCursor,
+}
+
+impl ReplayBackend {
+    /// Wraps `inner`, verifying against `cursor`'s tape.
+    #[must_use]
+    pub fn new(inner: SimBackend, cursor: ReplayCursor) -> Self {
+        Self { inner, cursor }
+    }
+
+    /// The verification cursor.
+    #[must_use]
+    pub fn cursor(&self) -> &ReplayCursor {
+        &self.cursor
+    }
+}
+
+impl MsrBackend for ReplayBackend {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn rdmsr(&mut self, now: SimTime, core: CoreId, msr: Msr) -> Result<u64, HalError> {
+        let r = self.inner.rdmsr(now, core, msr);
+        self.cursor.check(TraceEvent {
+            seq: 0,
+            t_ps: now.as_picos(),
+            core: core.0,
+            msr: msr.0,
+            op: TraceOp::Read,
+            value: 0,
+            outcome: outcome_of_read(&r),
+        });
+        r
+    }
+
+    fn wrmsr(
+        &mut self,
+        now: SimTime,
+        core: CoreId,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, HalError> {
+        let r = self.inner.wrmsr(now, core, msr, value);
+        self.cursor.check(TraceEvent {
+            seq: 0,
+            t_ps: now.as_picos(),
+            core: core.0,
+            msr: msr.0,
+            op: TraceOp::Write,
+            value,
+            outcome: outcome_of_write(&r),
+        });
+        r
+    }
+}
+
+impl DvfsBackend for ReplayBackend {
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+
+    fn current_freq(&mut self, core: CoreId) -> Result<FreqMhz, HalError> {
+        self.inner.current_freq(core)
+    }
+
+    fn set_freq(&mut self, now: SimTime, core: CoreId, freq: FreqMhz) -> Result<FreqMhz, HalError> {
+        drive_freq_via_msr(self, now, core, freq)
+    }
+}
+
+impl MachineBackend for ReplayBackend {
+    fn cpu(&self) -> &CpuPackage {
+        self.inner.cpu()
+    }
+
+    fn cpu_mut(&mut self) -> &mut CpuPackage {
+        self.inner.cpu_mut()
+    }
+}
+
+/// Parses a JSONL transcript into its header and per-section event
+/// streams (in file order). Events before the first `Section` marker
+/// land in an implicit section named `""`.
+///
+/// # Errors
+///
+/// [`HalError::TraceSchema`] on a malformed line, a missing header, or
+/// a schema name/version this build does not speak.
+pub fn parse_trace(jsonl: &str) -> Result<(TraceHeader, Vec<(String, Vec<TraceEvent>)>), HalError> {
+    let mut lines = jsonl.lines().filter(|l| !l.trim().is_empty());
+    let first = lines.next().ok_or_else(|| HalError::TraceSchema {
+        detail: "empty transcript".to_string(),
+    })?;
+    let header = match parse_line(first)? {
+        TraceLine::Header(h) => h,
+        other => {
+            return Err(HalError::TraceSchema {
+                detail: format!("first line must be a header, got {other:?}"),
+            })
+        }
+    };
+    if header.schema != TRACE_SCHEMA || header.version != TRACE_SCHEMA_VERSION {
+        return Err(HalError::TraceSchema {
+            detail: format!(
+                "unsupported schema {}@{} (this build speaks {TRACE_SCHEMA}@{TRACE_SCHEMA_VERSION})",
+                header.schema, header.version
+            ),
+        });
+    }
+
+    let mut sections: Vec<(String, Vec<TraceEvent>)> = Vec::new();
+    for line in lines {
+        match parse_line(line)? {
+            TraceLine::Header(_) => {
+                return Err(HalError::TraceSchema {
+                    detail: "duplicate header line".to_string(),
+                })
+            }
+            TraceLine::Section { name } => sections.push((name, Vec::new())),
+            TraceLine::Event(ev) => {
+                if sections.is_empty() {
+                    sections.push((String::new(), Vec::new()));
+                }
+                if let Some((_, events)) = sections.last_mut() {
+                    events.push(ev);
+                }
+            }
+        }
+    }
+    Ok((header, sections))
+}
+
+fn parse_line(line: &str) -> Result<TraceLine, HalError> {
+    serde_json::from_str(line).map_err(|e| HalError::TraceSchema {
+        detail: format!("malformed trace line {line:?}: {e:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            schema: TRACE_SCHEMA.to_string(),
+            version: TRACE_SCHEMA_VERSION,
+            model: CpuModel::SkyLake,
+            root_seed: 0xDAC,
+            label: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn record_then_parse_round_trips() {
+        let rec = TraceRecorder::new(header());
+        rec.begin_section("warmup");
+        let mut b = RecordingBackend::new(SimBackend::new(CpuModel::SkyLake, 1), rec.clone());
+        let t = SimTime::ZERO;
+        let _ = b.rdmsr(t, CoreId(0), Msr::IA32_PERF_STATUS);
+        let _ = b.set_freq(t, CoreId(0), FreqMhz(2700));
+        assert_eq!(rec.event_count(), 2);
+
+        let jsonl = rec.to_jsonl().expect("serialize");
+        let (h, sections) = parse_trace(&jsonl).expect("parse");
+        assert_eq!(h, header());
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "warmup");
+        assert_eq!(sections[0].1.len(), 2);
+        assert_eq!(sections[0].1[0].op, TraceOp::Read);
+        assert_eq!(sections[0].1[1].op, TraceOp::Write);
+        assert_eq!(sections[0].1[1].msr, Msr::IA32_PERF_CTL.0);
+    }
+
+    #[test]
+    fn replay_of_identical_run_is_clean() {
+        let rec = TraceRecorder::new(header());
+        rec.begin_section("run");
+        let mut recording =
+            RecordingBackend::new(SimBackend::new(CpuModel::SkyLake, 42), rec.clone());
+        let t = SimTime::ZERO;
+        let _ = recording.rdmsr(t, CoreId(1), Msr::IA32_PERF_STATUS);
+        let _ = recording.wrmsr(t, CoreId(0), Msr::IA32_PERF_CTL, 0x1d00);
+
+        let jsonl = rec.to_jsonl().expect("serialize");
+        let (_, sections) = parse_trace(&jsonl).expect("parse");
+        let cursor = ReplayCursor::new(sections[0].1.clone());
+        let mut replay = ReplayBackend::new(SimBackend::new(CpuModel::SkyLake, 42), cursor.clone());
+        let _ = replay.rdmsr(t, CoreId(1), Msr::IA32_PERF_STATUS);
+        let _ = replay.wrmsr(t, CoreId(0), Msr::IA32_PERF_CTL, 0x1d00);
+
+        assert!(cursor.is_clean(), "divergences: {:?}", cursor.divergences());
+        assert_eq!(cursor.consumed(), 2);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_flags_divergence_and_overrun() {
+        let rec = TraceRecorder::new(header());
+        rec.begin_section("run");
+        let mut recording =
+            RecordingBackend::new(SimBackend::new(CpuModel::SkyLake, 42), rec.clone());
+        let t = SimTime::ZERO;
+        let _ = recording.wrmsr(t, CoreId(0), Msr::IA32_PERF_CTL, 0x1d00);
+
+        let jsonl = rec.to_jsonl().expect("serialize");
+        let (_, sections) = parse_trace(&jsonl).expect("parse");
+        let cursor = ReplayCursor::new(sections[0].1.clone());
+        let mut replay = ReplayBackend::new(SimBackend::new(CpuModel::SkyLake, 42), cursor.clone());
+        // Different value than the tape -> divergence.
+        let _ = replay.wrmsr(t, CoreId(0), Msr::IA32_PERF_CTL, 0x1e00);
+        // Tape exhausted -> overrun.
+        let _ = replay.rdmsr(t, CoreId(0), Msr::IA32_PERF_STATUS);
+
+        assert!(!cursor.is_clean());
+        assert_eq!(cursor.divergences().len(), 1);
+        assert_eq!(cursor.overrun(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut h = header();
+        h.version = TRACE_SCHEMA_VERSION + 1;
+        let line = serde_json::to_string(&TraceLine::Header(h)).expect("serialize");
+        let err = parse_trace(&line).expect_err("must reject");
+        assert!(matches!(err, HalError::TraceSchema { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_sim() {
+        let t = SimTime::ZERO;
+        let mut plain = SimBackend::new(CpuModel::SkyLake, 9);
+        let rec = TraceRecorder::new(header());
+        let mut taped = RecordingBackend::new(SimBackend::new(CpuModel::SkyLake, 9), rec);
+        let a = plain.set_freq(t, CoreId(0), FreqMhz(2600));
+        let b = taped.set_freq(t, CoreId(0), FreqMhz(2600));
+        assert_eq!(a.ok(), b.ok());
+        assert_eq!(
+            plain.cpu().core_freq(CoreId(0)).expect("freq").mhz(),
+            taped.cpu().core_freq(CoreId(0)).expect("freq").mhz()
+        );
+    }
+}

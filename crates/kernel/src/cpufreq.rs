@@ -9,8 +9,6 @@
 use crate::machine::{Machine, MachineError};
 use plugvolt_cpu::core::CoreId;
 use plugvolt_cpu::freq::FreqMhz;
-use plugvolt_msr::addr::Msr;
-use plugvolt_msr::perf_status::encode_perf_ctl;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -141,16 +139,12 @@ impl CpuFreq {
         Self::drive(machine, core, f)
     }
 
-    /// The scaling driver: writes the ratio request to `IA32_PERF_CTL`.
+    /// The scaling driver: the backend's DVFS surface, which quantizes
+    /// to the hardware table and writes the ratio request to
+    /// `IA32_PERF_CTL` (on the sim family — see
+    /// `plugvolt_hal::backend::drive_freq_via_msr`).
     fn drive(machine: &mut Machine, core: CoreId, f: FreqMhz) -> Result<FreqMhz, MachineError> {
-        // Snap to the hardware table before encoding: the ratio field
-        // truncates to 100 MHz steps, which would otherwise round down.
-        let f = machine.cpu().spec().freq_table.quantize(f);
-        let now = machine.now();
-        machine
-            .cpu_mut()
-            .wrmsr(now, core, Msr::IA32_PERF_CTL, encode_perf_ctl(f.mhz()))?;
-        Ok(machine.cpu().core_freq(core)?)
+        machine.set_freq(core, f)
     }
 }
 

@@ -1,20 +1,32 @@
 //! The machine: a CPU package under a minimal kernel.
 //!
-//! [`Machine`] owns the simulated clock, the [`CpuPackage`], and a set of
-//! loadable [`KernelModule`]s with kernel-timer semantics — the substrate
-//! the paper's countermeasure is deployed on. Modules steal core time
-//! when their timers run (the source of the Table 2 overhead), and all
-//! MSR traffic they issue is cost-accounted (IPI to the target core plus
-//! the `rdmsr`/`wrmsr` microcode flow; the paper's Sec. 5 names this
-//! ioctl/MSR path as one contributor to countermeasure turnaround time).
+//! [`Machine`] owns the simulated clock, a [`MachineBackend`] carrying
+//! the [`CpuPackage`], and a set of loadable [`KernelModule`]s with
+//! kernel-timer semantics — the substrate the paper's countermeasure is
+//! deployed on. Modules steal core time when their timers run (the
+//! source of the Table 2 overhead), and all MSR traffic they issue is
+//! cost-accounted (IPI to the target core plus the `rdmsr`/`wrmsr`
+//! microcode flow; the paper's Sec. 5 names this ioctl/MSR path as one
+//! contributor to countermeasure turnaround time).
+//!
+//! All software MSR/DVFS traffic — module context, `msr-dev`, cpufreq —
+//! flows through the backend seam ([`Machine::rdmsr`],
+//! [`Machine::wrmsr`], [`Machine::set_freq`] and the [`ModuleCtx`]
+//! accessors), so a recording backend observes exactly the accesses the
+//! software stack makes. Direct `cpu_mut()` access remains the
+//! "privileged attacker / physical package" escape hatch and is not
+//! part of the recorded surface.
 
 use plugvolt_cpu::core::CoreId;
 use plugvolt_cpu::exec::InstrClass;
+use plugvolt_cpu::freq::FreqMhz;
 use plugvolt_cpu::model::CpuModel;
 use plugvolt_cpu::package::{CpuPackage, PackageError};
 use plugvolt_des::rng::SimRng;
 use plugvolt_des::time::{SimDuration, SimTime};
 use plugvolt_des::trace::{TraceBuffer, TraceLevel};
+use plugvolt_hal::backend::{MachineBackend, MsrBackend};
+use plugvolt_hal::sim::SimBackend;
 use plugvolt_msr::addr::Msr;
 use plugvolt_msr::file::WriteOutcome;
 use plugvolt_telemetry::{HistogramSpec, MetricKey, Sink, Tracer};
@@ -60,7 +72,7 @@ impl From<PackageError> for MachineError {
 /// how the polling countermeasure's overhead arises.
 pub struct ModuleCtx<'a> {
     now: SimTime,
-    cpu: &'a mut CpuPackage,
+    backend: &'a mut dyn MachineBackend,
     trace: &'a mut TraceBuffer,
     stolen: &'a mut [SimDuration],
     module_name: &'a str,
@@ -85,7 +97,7 @@ impl ModuleCtx<'_> {
     /// Immutable access to the package (frequency tables, specs…).
     #[must_use]
     pub fn cpu(&self) -> &CpuPackage {
-        self.cpu
+        self.backend.cpu()
     }
 
     /// Cost-accounted `rdmsr` on `core`.
@@ -98,7 +110,9 @@ impl ModuleCtx<'_> {
         self.note_access_cost(core, cost);
         self.charge(core, cost);
         self.record_span("msr/access", cost);
-        self.cpu.rdmsr(self.now, core, msr)
+        self.backend
+            .rdmsr(self.now, core, msr)
+            .map_err(PackageError::from)
     }
 
     /// Cost-accounted `wrmsr` on `core`.
@@ -116,7 +130,9 @@ impl ModuleCtx<'_> {
         self.note_access_cost(core, cost);
         self.charge(core, cost);
         self.record_span("msr/access", cost);
-        self.cpu.wrmsr(self.now, core, msr, value)
+        self.backend
+            .wrmsr(self.now, core, msr, value)
+            .map_err(PackageError::from)
     }
 
     /// Cost-accounted `rdmsr` from a **per-CPU timer context** on `core`
@@ -131,7 +147,9 @@ impl ModuleCtx<'_> {
         self.note_access_cost(core, cost);
         self.charge(core, cost);
         self.record_span("msr/access", cost);
-        self.cpu.rdmsr(self.now, core, msr)
+        self.backend
+            .rdmsr(self.now, core, msr)
+            .map_err(PackageError::from)
     }
 
     /// Cost-accounted `wrmsr` from a per-CPU timer context on `core`.
@@ -149,28 +167,30 @@ impl ModuleCtx<'_> {
         self.note_access_cost(core, cost);
         self.charge(core, cost);
         self.record_span("msr/access", cost);
-        self.cpu.wrmsr(self.now, core, msr, value)
+        self.backend
+            .wrmsr(self.now, core, msr, value)
+            .map_err(PackageError::from)
     }
 
     fn local_access_cost(&self, core: CoreId) -> SimDuration {
-        let freq = self
-            .cpu
-            .core_freq(core)
-            .unwrap_or(self.cpu.spec().base_freq);
-        self.cpu.engine().msr_access_duration(freq)
+        let cpu = self.backend.cpu();
+        let freq = cpu.core_freq(core).unwrap_or(cpu.spec().base_freq);
+        cpu.engine().msr_access_duration(freq)
     }
 
     /// Accounts the modelled cost of one kernel-context MSR access in
     /// the telemetry registry (the time itself is charged separately).
     fn note_access_cost(&self, core: CoreId, cost: SimDuration) {
-        self.cpu.note_kernel_msr_cost(core, cost.as_picos());
+        self.backend
+            .cpu()
+            .note_kernel_msr_cost(core, cost.as_picos());
     }
 
     /// Charges pure compute time (comparisons, set lookups) to a core.
     pub fn charge(&mut self, core: CoreId, cost: SimDuration) {
         if let Some(slot) = self.stolen.get_mut(core.0) {
             *slot += cost;
-            self.cpu.note_stolen(core, cost.as_picos());
+            self.backend.cpu().note_stolen(core, cost.as_picos());
         }
     }
 
@@ -178,13 +198,14 @@ impl ModuleCtx<'_> {
     /// modules opening their own spans (e.g. the poll loop).
     #[must_use]
     pub fn tracer(&self) -> &Tracer {
-        self.cpu.telemetry().tracer()
+        self.backend.cpu().telemetry().tracer()
     }
 
     /// Point-records `cost` of simulated time under span `label`
     /// (see `Tracer::record_span`); free when tracing is disabled.
     fn record_span(&self, label: &'static str, cost: SimDuration) {
-        self.cpu
+        self.backend
+            .cpu()
             .telemetry()
             .tracer()
             .record_span(label, cost.as_picos());
@@ -196,11 +217,9 @@ impl ModuleCtx<'_> {
     }
 
     fn access_cost(&self, core: CoreId) -> SimDuration {
-        let freq = self
-            .cpu
-            .core_freq(core)
-            .unwrap_or(self.cpu.spec().base_freq);
-        IPI_COST + self.cpu.engine().msr_access_duration(freq)
+        let cpu = self.backend.cpu();
+        let freq = cpu.core_freq(core).unwrap_or(cpu.spec().base_freq);
+        IPI_COST + cpu.engine().msr_access_duration(freq)
     }
 }
 
@@ -281,7 +300,7 @@ pub struct WorkloadRun {
 /// ```
 pub struct Machine {
     now: SimTime,
-    cpu: CpuPackage,
+    backend: Box<dyn MachineBackend>,
     modules: Vec<ModuleSlot>,
     timers: BinaryHeap<PendingTimer>,
     timer_seq: u64,
@@ -294,7 +313,8 @@ impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
             .field("now", &self.now)
-            .field("cpu", &self.cpu)
+            .field("backend", &self.backend_name())
+            .field("cpu", self.backend.cpu())
             .field("modules", &self.loaded_modules().collect::<Vec<_>>())
             .finish()
     }
@@ -316,10 +336,17 @@ impl Machine {
     /// Boots a machine around an explicit package.
     #[must_use]
     pub fn from_package(cpu: CpuPackage, seed: u64) -> Self {
-        let cores = cpu.core_count();
+        Self::with_backend(Box::new(SimBackend::from_package(cpu)), seed)
+    }
+
+    /// Boots a machine around an arbitrary machine backend (sim,
+    /// recording, replay — anything implementing [`MachineBackend`]).
+    #[must_use]
+    pub fn with_backend(backend: Box<dyn MachineBackend>, seed: u64) -> Self {
+        let cores = backend.cpu().core_count();
         Machine {
             now: SimTime::ZERO,
-            cpu,
+            backend,
             modules: Vec::new(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
@@ -335,17 +362,69 @@ impl Machine {
         self.now
     }
 
+    /// Stable name of the mounted backend (`"sim"`, `"record"`,
+    /// `"replay"`).
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        MsrBackend::name(self.backend.as_ref())
+    }
+
     /// The CPU package.
     #[must_use]
     pub fn cpu(&self) -> &CpuPackage {
-        &self.cpu
+        self.backend.cpu()
     }
 
     /// Mutable access to the CPU package — the "privileged software"
     /// escape hatch attacks use (direct `wrmsr` etc. are methods on the
     /// package and need the current time; pair with [`now`](Self::now)).
+    /// Package mutations through here bypass the backend seam and are
+    /// invisible to a recording backend — exactly like physical
+    /// tampering would be.
     pub fn cpu_mut(&mut self) -> &mut CpuPackage {
-        &mut self.cpu
+        self.backend.cpu_mut()
+    }
+
+    /// Privileged zero-cost `rdmsr` through the backend seam (root
+    /// userspace reading without the kernel's IPI/syscall accounting —
+    /// what experiment harness code should use instead of `cpu_mut()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the package error.
+    pub fn rdmsr(&mut self, core: CoreId, msr: Msr) -> Result<u64, MachineError> {
+        self.backend
+            .rdmsr(self.now, core, msr)
+            .map_err(|e| MachineError::Package(e.into()))
+    }
+
+    /// Privileged zero-cost `wrmsr` through the backend seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the package error.
+    pub fn wrmsr(
+        &mut self,
+        core: CoreId,
+        msr: Msr,
+        value: u64,
+    ) -> Result<WriteOutcome, MachineError> {
+        self.backend
+            .wrmsr(self.now, core, msr, value)
+            .map_err(|e| MachineError::Package(e.into()))
+    }
+
+    /// Requests a core frequency through the backend's scaling driver
+    /// (quantized to the hardware table), returning what was applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the package error.
+    pub fn set_freq(&mut self, core: CoreId, freq: FreqMhz) -> Result<FreqMhz, MachineError> {
+        let now = self.now;
+        self.backend
+            .set_freq(now, core, freq)
+            .map_err(|e| MachineError::Package(e.into()))
     }
 
     /// The machine trace (modules, faults, countermeasure actions).
@@ -357,14 +436,14 @@ impl Machine {
     /// The machine's telemetry sink (shared with the CPU package).
     #[must_use]
     pub fn telemetry(&self) -> &Sink {
-        self.cpu.telemetry()
+        self.backend.cpu().telemetry()
     }
 
     /// Installs a shared telemetry sink so several machines (e.g. the
     /// fresh instances an experiment boots per measurement) record into
     /// one registry.
     pub fn set_telemetry(&mut self, sink: Sink) {
-        self.cpu.set_telemetry(sink);
+        self.backend.cpu_mut().set_telemetry(sink);
     }
 
     /// Folds the trace buffer's silent-drop counter, the slack-table
@@ -372,16 +451,14 @@ impl Machine {
     /// into the telemetry registry. Call once per machine, after its
     /// run completes (extra calls only add deltas).
     pub fn publish_trace_drops(&self) {
-        self.cpu
-            .telemetry()
-            .tracer()
-            .record_span("telemetry/flush", 0);
+        let cpu = self.backend.cpu();
+        cpu.telemetry().tracer().record_span("telemetry/flush", 0);
         let dropped = self.trace.dropped();
         if dropped > 0 {
-            self.cpu.telemetry().add_trace_dropped(dropped);
+            cpu.telemetry().add_trace_dropped(dropped);
         }
-        self.cpu.publish_slack_table_stats();
-        self.cpu.publish_hot_counters();
+        cpu.publish_slack_table_stats();
+        cpu.publish_hot_counters();
     }
 
     /// Attaches (or detaches, with `None`) a precomputed slack table on
@@ -390,7 +467,7 @@ impl Machine {
         &mut self,
         table: Option<std::sync::Arc<plugvolt_cpu::slack::SlackTable>>,
     ) {
-        self.cpu.set_slack_table(table);
+        self.backend.cpu_mut().set_slack_table(table);
     }
 
     /// Deterministic per-machine random stream (for workload jitter).
@@ -478,7 +555,8 @@ impl Machine {
     fn arm_timer(&mut self, module_idx: usize, delay: SimDuration) {
         // Queue churn is attributed, not costed: scheduling a kernel
         // timer is free on the sim clock.
-        self.cpu
+        self.backend
+            .cpu()
             .telemetry()
             .tracer()
             .record_span("queue/schedule", 0);
@@ -499,7 +577,7 @@ impl Machine {
         let mut module = self.modules[idx].module.take().expect("module re-entered");
         let mut ctx = ModuleCtx {
             now: self.now,
-            cpu: &mut self.cpu,
+            backend: self.backend.as_mut(),
             trace: &mut self.trace,
             stolen: &mut self.stolen,
             module_name: &self.modules[idx].name,
@@ -513,7 +591,7 @@ impl Machine {
     pub fn advance_to(&mut self, horizon: SimTime) {
         // `with_module` needs `&mut self`, so hold the tracer by clone
         // (it is an `Rc` handle onto the sink's shared span tree).
-        let tracer = self.cpu.telemetry().tracer().clone();
+        let tracer = self.backend.cpu().telemetry().tracer().clone();
         while let Some(t) = self.timers.peek() {
             if t.at > horizon {
                 break;
@@ -532,7 +610,7 @@ impl Machine {
             drop(span);
             let steal_after: SimDuration = self.stolen.iter().copied().sum();
             let iteration = steal_after.saturating_sub(steal_before);
-            self.cpu.telemetry().observe(
+            self.backend.cpu().telemetry().observe(
                 MetricKey::global("kernel", "timer_iteration_us"),
                 HistogramSpec::POLL_ITERATION_US,
                 iteration.as_picos() as f64 / 1e6,
@@ -568,13 +646,17 @@ impl Machine {
         let mut remaining = iters;
         let mut faults = 0u64;
         loop {
-            let freq = self.cpu.core_freq(core)?;
+            let freq = self.backend.cpu().core_freq(core)?;
             // Loop invariant we maintain: now == started + work_time(done)
             // + steal accrued on this core. Catch up first if module work
             // just pushed us behind that line.
             let accrued = self.stolen_time(core).saturating_sub(stolen_before);
             let done = iters - remaining;
-            let work_time = self.cpu.engine().batch_duration(class, done, freq);
+            let work_time = self
+                .backend
+                .cpu()
+                .engine()
+                .batch_duration(class, done, freq);
             let target = started + work_time + accrued;
             if target > self.now {
                 self.advance_to(target);
@@ -583,7 +665,11 @@ impl Machine {
             if remaining == 0 {
                 break;
             }
-            let full = self.cpu.engine().batch_duration(class, remaining, freq);
+            let full = self
+                .backend
+                .cpu()
+                .engine()
+                .batch_duration(class, remaining, freq);
             let next_timer = self.timers.peek().map(|t| t.at);
             match next_timer {
                 Some(t) if t < self.now + full => {
@@ -592,13 +678,18 @@ impl Machine {
                     let cycles = slice.cycles_at(freq.mhz());
                     let n = ((cycles as f64 / class.cpi()).floor() as u64).min(remaining);
                     if n > 0 {
-                        faults += self.cpu.run_batch(self.now, core, class, n)?;
+                        let now = self.now;
+                        faults += self.backend.cpu_mut().run_batch(now, core, class, n)?;
                         remaining -= n;
                     }
                     self.advance_to(t); // fires the timer, accrues steal
                 }
                 _ => {
-                    faults += self.cpu.run_batch(self.now, core, class, remaining)?;
+                    let now = self.now;
+                    faults += self
+                        .backend
+                        .cpu_mut()
+                        .run_batch(now, core, class, remaining)?;
                     remaining = 0;
                     self.advance_to(self.now + full);
                 }

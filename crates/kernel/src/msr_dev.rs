@@ -59,8 +59,7 @@ impl MsrDev {
     pub fn read(&self, machine: &mut Machine, msr: Msr) -> Result<u64, MachineError> {
         let cost = self.access_cost(machine);
         machine.advance(cost);
-        let now = machine.now();
-        Ok(machine.cpu_mut().rdmsr(now, self.core, msr)?)
+        machine.rdmsr(self.core, msr)
     }
 
     /// Userspace `wrmsr`: pays the syscall + flow cost, then writes.
@@ -76,8 +75,7 @@ impl MsrDev {
     ) -> Result<WriteOutcome, MachineError> {
         let cost = self.access_cost(machine);
         machine.advance(cost);
-        let now = machine.now();
-        Ok(machine.cpu_mut().wrmsr(now, self.core, msr, value)?)
+        machine.wrmsr(self.core, msr, value)
     }
 }
 

@@ -80,10 +80,19 @@ impl std::error::Error for MsrError {}
 /// wins, `Clamp`ed values feed the next interceptor.
 pub trait MsrInterceptor {
     /// Short name for traces, e.g. `"maximal-safe-state-patch"`.
+    /// Sampled once at registration — [`MsrFile`] indexes the chain by
+    /// this value, so it must be stable for the interceptor's lifetime.
     fn name(&self) -> &str;
 
     /// Decides what happens to a pending write of `value` to `msr`.
     fn on_write(&mut self, msr: Msr, value: u64) -> WriteDisposition;
+}
+
+/// One registered interceptor: the hook plus its registration-time name
+/// (cached so name lookups never re-enter the trait object).
+struct InterceptorEntry {
+    name: Box<str>,
+    hook: Box<dyn MsrInterceptor>,
 }
 
 /// The register file of one CPU package.
@@ -104,7 +113,12 @@ pub trait MsrInterceptor {
 #[derive(Default)]
 pub struct MsrFile {
     regs: BTreeMap<Msr, u64>,
-    interceptors: Vec<Box<dyn MsrInterceptor>>,
+    /// The chain, in registration order.
+    interceptors: Vec<InterceptorEntry>,
+    /// Registered-name index: name → number of chain entries bearing it.
+    /// Keeps [`MsrFile::has_interceptor`] and the absent-name fast path
+    /// of [`MsrFile::remove_interceptor`] off the chain entirely.
+    by_name: BTreeMap<Box<str>, usize>,
 }
 
 impl fmt::Debug for MsrFile {
@@ -113,11 +127,7 @@ impl fmt::Debug for MsrFile {
             .field("implemented", &self.regs.len())
             .field(
                 "interceptors",
-                &self
-                    .interceptors
-                    .iter()
-                    .map(|i| i.name().to_owned())
-                    .collect::<Vec<_>>(),
+                &self.interceptor_names().collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -147,24 +157,42 @@ impl MsrFile {
         self.regs.contains_key(&msr)
     }
 
-    /// Registers a write interceptor at the end of the chain. Returns an
-    /// identifier for [`remove_interceptor`](Self::remove_interceptor).
+    /// Registers a write interceptor at the end of the chain, caching
+    /// its name in the index. Returns an identifier for
+    /// [`remove_interceptor`](Self::remove_interceptor).
     pub fn add_interceptor(&mut self, interceptor: Box<dyn MsrInterceptor>) -> usize {
-        self.interceptors.push(interceptor);
+        let name: Box<str> = interceptor.name().into();
+        *self.by_name.entry(name.clone()).or_insert(0) += 1;
+        self.interceptors.push(InterceptorEntry {
+            name,
+            hook: interceptor,
+        });
         self.interceptors.len() - 1
     }
 
-    /// Removes the interceptor named `name`. Returns whether one was
-    /// removed.
+    /// Removes every interceptor registered under `name` (chain order of
+    /// the rest is preserved). Returns whether any was removed. The
+    /// absent-name case is an index lookup that never walks the chain.
     pub fn remove_interceptor(&mut self, name: &str) -> bool {
-        let before = self.interceptors.len();
-        self.interceptors.retain(|i| i.name() != name);
-        self.interceptors.len() != before
+        if self.by_name.remove(name).is_none() {
+            return false;
+        }
+        self.interceptors.retain(|e| &*e.name != name);
+        true
     }
 
-    /// Names of the registered interceptors, in chain order.
+    /// Whether any interceptor is registered under `name` — an index
+    /// lookup, no chain walk, no virtual call.
+    #[must_use]
+    pub fn has_interceptor(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Names of the registered interceptors, in chain order — served
+    /// from the registration-time cache without re-entering the trait
+    /// objects.
     pub fn interceptor_names(&self) -> impl Iterator<Item = &str> {
-        self.interceptors.iter().map(|i| i.name())
+        self.interceptors.iter().map(|e| &*e.name)
     }
 
     /// `rdmsr`.
@@ -193,7 +221,7 @@ impl MsrFile {
         };
         let mut value = value;
         for i in &mut self.interceptors {
-            match i.on_write(msr, value) {
+            match i.hook.on_write(msr, value) {
                 WriteDisposition::Allow => {}
                 WriteDisposition::Ignore => return Ok(WriteOutcome::Ignored),
                 WriteDisposition::Clamp(v) => value = v,
@@ -349,9 +377,61 @@ mod tests {
     fn remove_interceptor_by_name() {
         let mut f = file();
         f.add_interceptor(Box::new(IgnoreOdd));
+        assert!(f.has_interceptor("ignore-odd"));
         assert!(f.remove_interceptor("ignore-odd"));
+        assert!(!f.has_interceptor("ignore-odd"));
         assert!(!f.remove_interceptor("ignore-odd"));
         assert!(f.wrmsr(Msr::OC_MAILBOX, 43).unwrap().was_written());
+    }
+
+    #[test]
+    fn duplicate_names_all_removed_order_preserved() {
+        let mut f = file();
+        f.add_interceptor(Box::new(ClampAbove { limit: 100 }));
+        f.add_interceptor(Box::new(IgnoreOdd));
+        f.add_interceptor(Box::new(ClampAbove { limit: 50 }));
+        assert_eq!(
+            f.interceptor_names().collect::<Vec<_>>(),
+            ["clamp-above", "ignore-odd", "clamp-above"]
+        );
+        // Removing a duplicated name drops every bearer; the survivor
+        // keeps its chain position.
+        assert!(f.remove_interceptor("clamp-above"));
+        assert!(!f.has_interceptor("clamp-above"));
+        assert_eq!(f.interceptor_names().collect::<Vec<_>>(), ["ignore-odd"]);
+        // Neither clamp runs any more; the ignore still does.
+        assert!(f.wrmsr(Msr::OC_MAILBOX, 500).unwrap().was_written());
+        assert_eq!(f.rdmsr(Msr::OC_MAILBOX).unwrap(), 500);
+        assert_eq!(
+            f.wrmsr(Msr::OC_MAILBOX, 501).unwrap(),
+            WriteOutcome::Ignored
+        );
+    }
+
+    #[test]
+    fn remove_while_iterating_names_is_safe() {
+        // The classic hazard the name index must survive: walk a
+        // snapshot of the chain and remove entries mid-walk. The cached
+        // names make the snapshot cheap, and each removal keeps the
+        // index and the chain consistent for the next step.
+        let mut f = file();
+        f.add_interceptor(Box::new(ClampAbove { limit: 100 }));
+        f.add_interceptor(Box::new(IgnoreOdd));
+        f.add_interceptor(Box::new(FaultAll));
+        f.add_interceptor(Box::new(IgnoreOdd));
+        let snapshot: Vec<String> = f.interceptor_names().map(str::to_owned).collect();
+        assert_eq!(snapshot.len(), 4);
+        for name in &snapshot {
+            // Duplicates were bulk-removed by their first occurrence;
+            // a second visit must report "nothing to remove" rather
+            // than corrupt the index.
+            let before = f.interceptor_names().count();
+            let removed = f.remove_interceptor(name);
+            assert_eq!(removed, f.interceptor_names().count() < before);
+            assert!(!f.has_interceptor(name));
+        }
+        assert_eq!(f.interceptor_names().count(), 0);
+        assert!(f.wrmsr(Msr::OC_MAILBOX, 77).unwrap().was_written());
     }
 
     #[test]

@@ -7,10 +7,11 @@
 #                              output drifts from the pinned manifest
 #
 # The manifest pins a SHA-256 per artifact: every repro table/figure,
-# the machine-readable figure JSON, and the soak fuzzer's reproducer
-# corpus. `check` re-runs everything, so a code change that moves any
-# number fails CI until the author re-runs `update` and commits the new
-# outputs — drift is always a reviewed diff, never an accident.
+# the machine-readable figure JSON, the soak fuzzer's reproducer
+# corpus, and the MSR-transcript trace fixture. `check` re-runs
+# everything, so a code change that moves any number fails CI until the
+# author re-runs `update` and commits the new outputs — drift is always
+# a reviewed diff, never an accident.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +49,11 @@ regenerate() {
     "$CLI" soak --smoke --corpus "$out/fuzz-corpus" --out "$out/.soak-report.json" \
         > /dev/null
     rm -f "$out/.soak-report.json"
+    # The MSR-transcript fixture: the deterministic fixture campaign
+    # recorded through the HAL tracing backend, pinned byte-for-byte.
+    # ci.sh replays this exact file through the replay backend.
+    mkdir -p "$out/traces"
+    "$CLI" soak --record "$out/traces/fixture.trace.jsonl"
 }
 
 # Emits "sha256  relative-path" lines for every artifact under $1,
@@ -59,7 +65,7 @@ manifest_of() {
     local dir="$1" f
     (
         cd "$dir"
-        find . -type f \( -name '*.txt' -o -name '*.json' \) ! -name '.*' \
+        find . -type f \( -name '*.txt' -o -name '*.json' -o -name '*.jsonl' \) ! -name '.*' \
             ! -name 'lint-baseline.json' \
             | sed 's|^\./||' | LC_ALL=C sort
     ) | while read -r f; do

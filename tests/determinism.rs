@@ -152,6 +152,33 @@ fn soak_report_is_byte_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn recorded_traces_replay_bit_identically() {
+    // The HAL seam invariant: a campaign recorded through the tracing
+    // backend, replayed through the replay backend, and re-run on the
+    // plain sim backend are three views of one bit-identical execution.
+    // Every MSR access checks off against the tape (no divergences, no
+    // overrun, no leftover), the soak oracles still hold, and the
+    // telemetry profiles and poll stats match byte for byte.
+    use plugvolt_bench::trace::{record_fixture, replay_trace};
+    let scn = Scenario::new();
+    let fixture = record_fixture(&scn, CpuModel::CometLake).expect("records");
+    let report = replay_trace(&fixture.jsonl).expect("replays");
+    assert!(report.passed(), "{}", report.render_text());
+    assert_eq!(
+        fixture.captures, report.replay_captures,
+        "recorded and replayed runs must expose identical observables"
+    );
+    assert_eq!(
+        report.replay_captures, report.sim_captures,
+        "replayed and plain-sim runs must expose identical observables"
+    );
+    // And the transcript itself is deterministic: recording twice from
+    // the same scenario yields the same bytes.
+    let again = record_fixture(&scn, CpuModel::CometLake).expect("records again");
+    assert_eq!(fixture.jsonl, again.jsonl, "transcript must be stable");
+}
+
+#[test]
 fn sharded_sweep_is_worker_count_independent() {
     // The tentpole invariant: every frequency shard boots its own
     // machine from a derived, labelled seed, so the merged records are
